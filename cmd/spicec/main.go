@@ -1,0 +1,73 @@
+// Spicec is the Spice compiler driver: it reads a program in textual IR,
+// applies the Spice transformation to the requested loop, and prints the
+// analysis report and the transformed multi-threaded program.
+//
+// Usage:
+//
+//	spicec -fn main -loop loop -threads 4 [-analyze] file.ir
+//	echo "..." | spicec -loop loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spice/internal/core"
+	"spice/internal/ir"
+	"spice/internal/irparse"
+)
+
+func main() {
+	fn := flag.String("fn", "main", "function containing the target loop")
+	loop := flag.String("loop", "", "header block of the target loop (required)")
+	threads := flag.Int("threads", 4, "total thread count (main + workers)")
+	analyzeOnly := flag.Bool("analyze", false, "print the analysis without transforming")
+	flag.Parse()
+
+	if *loop == "" {
+		fmt.Fprintln(os.Stderr, "spicec: -loop is required")
+		os.Exit(2)
+	}
+	src, err := readInput(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{Fn: *fn, LoopHeader: *loop, Threads: *threads}
+	if *analyzeOnly {
+		a, err := core.Analyze(prog, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(a.Describe())
+		return
+	}
+	tr, err := core.Transform(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# spice: %d threads, %d speculated live-ins, workers: %v\n",
+		tr.Threads, tr.SVAWidth, tr.Workers)
+	fmt.Print(tr.Analysis.Describe())
+	fmt.Println()
+	fmt.Print(ir.Print(prog))
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "spicec: %v\n", err)
+	os.Exit(1)
+}

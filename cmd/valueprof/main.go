@@ -1,0 +1,67 @@
+// Valueprof runs the Section 6 value-profiling study: every benchmark of
+// the Figure 8 suites is executed under the instrumenting profiler, each
+// loop's cross-invocation live-in predictability is measured, and loops
+// are binned into the paper's four predictability classes.
+//
+// Usage:
+//
+//	valueprof [-suite spec|media|both] [-invocations 30] [-nodes 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spice/internal/harness"
+	"spice/internal/stats"
+	"spice/internal/workloads"
+)
+
+func main() {
+	suite := flag.String("suite", "both", "suite: spec, media or both")
+	invocations := flag.Int64("invocations", 30, "loop invocations per benchmark")
+	nodes := flag.Int64("nodes", 200, "nodes per traversal loop")
+	verbose := flag.Bool("v", false, "per-loop detail")
+	flag.Parse()
+
+	if *suite == "spec" || *suite == "both" {
+		fmt.Println("Figure 8(a): SPEC integer benchmarks")
+		runSuite(workloads.Fig8a(), *nodes, *invocations, *verbose)
+	}
+	if *suite == "media" || *suite == "both" {
+		fmt.Println("\nFigure 8(b): Mediabench and others")
+		runSuite(workloads.Fig8b(), *nodes, *invocations, *verbose)
+	}
+}
+
+func runSuite(benches []workloads.SuiteBench, nodes, invocations int64, verbose bool) {
+	tbl := &stats.Table{Header: []string{"benchmark", "loops", "low", "average", "good", "high"}}
+	for _, bench := range benches {
+		reports, err := harness.ProfileSuite(bench, nodes, invocations, 1234, harness.DefaultOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "valueprof: %s: %v\n", bench.Name, err)
+			os.Exit(1)
+		}
+		bins := stats.PredictabilityBins()
+		var pcts []float64
+		for _, r := range reports {
+			pcts = append(pcts, r.PredictablePct)
+			if verbose {
+				fmt.Printf("  %s loop %d: %d/%d invocations predictable (%.0f%%)\n",
+					bench.Name, r.Loop, r.Predictable, r.Invocations, r.PredictablePct)
+			}
+		}
+		stats.Classify(bins, pcts)
+		n := len(reports)
+		pct := func(c int) string {
+			if n == 0 {
+				return "0%"
+			}
+			return fmt.Sprintf("%.0f%%", 100*float64(c)/float64(n))
+		}
+		tbl.Add(bench.Name, n, pct(bins[0].Count), pct(bins[1].Count),
+			pct(bins[2].Count), pct(bins[3].Count))
+	}
+	fmt.Print(tbl.String())
+}

@@ -1,0 +1,131 @@
+// Clauselist reproduces the paper's running example end to end
+// (Figures 1 and 6): otter's find_lightest_cl loop over a churning
+// clause list, including the mis-speculation walkthrough where a
+// memoized node is removed from the list, the speculative chunk starting
+// there is squashed, and the predictor re-memoizes and recovers.
+//
+// Run: go run ./examples/clauselist
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spice"
+)
+
+type clause struct {
+	weight int64
+	next   *clause
+}
+
+type list struct {
+	head *clause
+	rng  *rand.Rand
+}
+
+func (l *list) nodes() []*clause {
+	var out []*clause
+	for c := l.head; c != nil; c = c.next {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (l *list) relink(ns []*clause) {
+	l.head = nil
+	for i := len(ns) - 1; i >= 0; i-- {
+		if i+1 < len(ns) {
+			ns[i].next = ns[i+1]
+		} else {
+			ns[i].next = nil
+		}
+	}
+	if len(ns) > 0 {
+		l.head = ns[0]
+	}
+}
+
+// churn is Figure 1(b): remove the lightest clause, insert new clauses,
+// occasionally swap neighbours.
+func (l *list) churn(removed *clause) {
+	ns := l.nodes()
+	for i, c := range ns {
+		if c == removed {
+			ns = append(ns[:i], ns[i+1:]...)
+			break
+		}
+	}
+	for k := 0; k < 2; k++ {
+		pos := l.rng.Intn(len(ns) + 1)
+		nc := &clause{weight: l.rng.Int63n(1_000_000)}
+		ns = append(ns[:pos], append([]*clause{nc}, ns[pos:]...)...)
+	}
+	if len(ns) > 2 {
+		i := l.rng.Intn(len(ns) - 1)
+		ns[i], ns[i+1] = ns[i+1], ns[i]
+	}
+	l.relink(ns)
+}
+
+type minAcc struct {
+	w  int64
+	cl *clause
+}
+
+func main() {
+	l := &list{rng: rand.New(rand.NewSource(7))}
+	var ns []*clause
+	for i := 0; i < 50_000; i++ {
+		ns = append(ns, &clause{weight: l.rng.Int63n(1_000_000)})
+	}
+	l.relink(ns)
+
+	loop := spice.Loop[*clause, minAcc]{
+		Done: func(c *clause) bool { return c == nil },
+		Next: func(c *clause) *clause { return c.next },
+		Body: func(c *clause, a minAcc) minAcc {
+			if a.cl == nil || c.weight < a.w {
+				return minAcc{c.weight, c}
+			}
+			return a
+		},
+		Init: func() minAcc { return minAcc{} },
+		Merge: func(a, b minAcc) minAcc {
+			if a.cl == nil || (b.cl != nil && b.w < a.w) {
+				return b
+			}
+			return a
+		},
+	}
+	r, err := spice.NewRunner(loop, spice.Config{Threads: 4})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("find_lightest_cl over a churning 50k-clause list:")
+	for inv := 0; inv < 12; inv++ {
+		before := r.Stats().MisspecInvocations
+		res := r.Run(l.head)
+		misspec := r.Stats().MisspecInvocations > before
+		fmt.Printf("  inv %2d: lightest=%6d works=%v misspec=%v\n",
+			inv, res.w, r.Stats().LastWorks, misspec)
+		l.churn(res.cl) // removes the result — occasionally a memoized node
+	}
+
+	// Figure 6 walkthrough: force the removal of a *predicted* node.
+	fmt.Println("\nFigure 6 walkthrough: removing a predicted chunk-start node")
+	res := r.Run(l.head)
+	// The chunk boundaries are whatever the predictor memoized; removing
+	// ~the middle third guarantees at least one boundary disappears.
+	ns = l.nodes()
+	l.relink(append(ns[:len(ns)/3], ns[2*len(ns)/3:]...))
+	before := r.Stats().MisspecInvocations
+	res = r.Run(l.head)
+	fmt.Printf("  after removal: lightest=%d, mis-speculated=%v (squashed chunks discarded,\n",
+		res.w, r.Stats().MisspecInvocations > before)
+	fmt.Println("  surviving threads covered the whole list; result still exact)")
+	res2 := r.Run(l.head)
+	fmt.Printf("  next invocation recovered: works=%v lightest=%d\n",
+		r.Stats().LastWorks, res2.w)
+}

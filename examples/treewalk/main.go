@@ -1,0 +1,109 @@
+// Treewalk models 181.mcf's refresh_potential: a spanning tree is walked
+// in traversal ("thread") order, each node's potential is recomputed
+// from its parent's previous potential plus arc costs, and the new
+// potentials are written back.
+//
+// Side effects under speculation: chunks must not write shared state, so
+// each chunk collects its writes in the accumulator; the merged write
+// set is applied after Run returns. Squashed chunks' writes are
+// discarded automatically with their accumulators — exactly the paper's
+// buffered speculative state.
+//
+// Run: go run ./examples/treewalk
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spice"
+)
+
+type node struct {
+	next      *node // traversal order ("thread" pointer in mcf)
+	parent    *node
+	cost      int64
+	potential int64 // previous potential (read-only during the walk)
+	arcs      []int64
+}
+
+type write struct {
+	n   *node
+	pot int64
+}
+
+type acc struct {
+	sum    int64
+	writes []write
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const n = 60_000
+
+	nodes := make([]*node, n)
+	for i := range nodes {
+		nd := &node{cost: rng.Int63n(1000)}
+		if i > 0 {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			nd.parent = nodes[lo+rng.Intn(i-lo)]
+			nodes[i-1].next = nd
+		}
+		// Hub-skewed arc counts: iteration counts are not work counts.
+		na := rng.Intn(4)
+		if i < n/10 {
+			na = 6 + rng.Intn(7)
+		}
+		for a := 0; a < na; a++ {
+			nd.arcs = append(nd.arcs, rng.Int63n(100))
+		}
+		nodes[i] = nd
+	}
+	head := nodes[0]
+
+	loop := spice.Loop[*node, acc]{
+		Done: func(c *node) bool { return c == nil },
+		Next: func(c *node) *node { return c.next },
+		Body: func(c *node, a acc) acc {
+			pot := c.cost
+			if c.parent != nil {
+				pot += c.parent.potential // previous-generation read
+			}
+			for _, arc := range c.arcs {
+				pot += arc
+			}
+			a.sum += pot
+			a.writes = append(a.writes, write{c, pot})
+			return a
+		},
+		Init: func() acc { return acc{} },
+		Merge: func(a, b acc) acc {
+			return acc{sum: a.sum + b.sum, writes: append(a.writes, b.writes...)}
+		},
+	}
+	r, err := spice.NewRunner(loop, spice.Config{Threads: 4})
+	if err != nil {
+		panic(err)
+	}
+
+	for inv := 0; inv < 8; inv++ {
+		res := r.Run(head)
+		// Commit: apply the buffered potential writes (double-buffer
+		// flip), then perturb some costs for the next iteration of the
+		// simplex.
+		for _, w := range res.writes {
+			w.n.potential = w.pot
+		}
+		for k := 0; k < 8; k++ {
+			nodes[rng.Intn(n)].cost = rng.Int63n(1000)
+		}
+		fmt.Printf("refresh %d: total potential %16d, chunk works %v\n",
+			inv+1, res.sum, r.Stats().LastWorks)
+	}
+	st := r.Stats()
+	fmt.Printf("\niteration-count balancing on skewed work: imbalance %.2f ", st.Imbalance())
+	fmt.Println("(the paper notes a better work metric than iteration counts would improve this)")
+}

@@ -1,0 +1,165 @@
+// Package core implements the Spice transformation (Algorithm 1 of the
+// paper): it turns a loop in a single-threaded IR program into a
+// multi-threaded speculative program.
+//
+// Given a target loop and a thread count t, the transformation
+//
+//  1. computes the inter-iteration (loop-carried) live-ins,
+//  2. removes reduction candidates (computed privately and merged),
+//  3. takes the remainder as the speculated live-in set S,
+//  4. clones the loop body into t−1 worker procedures,
+//  5. inserts communication for invariant live-ins and live-outs,
+//  6. initializes each worker's speculative live-ins from its row of
+//     the speculated values array (SVA),
+//  7. generates recovery code and registers it for the remote resteer
+//     mechanism,
+//  8. emits distributed mis-speculation detection: thread i compares its
+//     live-ins each iteration against thread i+1's predicted start
+//     values and stops on a match,
+//  9. inserts the memoizing value predictor (Algorithm 2): per-iteration
+//     work counting and threshold-driven SVA writes that feed the
+//     central load-balancing planner (lb_plan).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spice/internal/cfg"
+	"spice/internal/dataflow"
+	"spice/internal/ir"
+	"spice/internal/loopinfo"
+	"spice/internal/reduction"
+)
+
+// Options selects the loop and thread count for the transformation.
+type Options struct {
+	// Fn names the function containing the loop; the function is
+	// executed by the main (non-speculative) thread.
+	Fn string
+	// LoopHeader names the loop's header block within Fn.
+	LoopHeader string
+	// Threads is the total thread count t (including the main thread);
+	// it must be at least 2.
+	Threads int
+}
+
+// Analysis carries everything the transformation needs to know about the
+// target loop.
+type Analysis struct {
+	Fn   *ir.Function
+	G    *cfg.Graph
+	Loop *cfg.Loop
+	Info *loopinfo.Info
+	Reds []reduction.Group
+	// Spec is the speculated live-in set S = carried − reductions,
+	// sorted by register.
+	Spec []ir.Reg
+	// Invariant live-ins, sorted (communicated once per invocation).
+	Invariant []ir.Reg
+	// LiveOuts are the non-reduction loop live-outs, sorted.
+	LiveOuts []ir.Reg
+	// ExitTarget is the single block outside the loop that all loop
+	// exits branch to.
+	ExitTarget string
+	// Preheader is the unique out-of-loop predecessor of the header.
+	Preheader string
+}
+
+// Analyze validates the loop and computes the speculation sets.
+func Analyze(prog *ir.Program, opts Options) (*Analysis, error) {
+	if opts.Threads < 2 {
+		return nil, fmt.Errorf("core: need at least 2 threads, got %d", opts.Threads)
+	}
+	fn := prog.Func(opts.Fn)
+	if fn == nil {
+		return nil, fmt.Errorf("core: no function %q", opts.Fn)
+	}
+	g, err := cfg.New(fn)
+	if err != nil {
+		return nil, err
+	}
+	loops := cfg.FindLoops(g)
+	hi, ok := g.Index[opts.LoopHeader]
+	if !ok {
+		return nil, fmt.Errorf("core: no block %q in %s", opts.LoopHeader, opts.Fn)
+	}
+	loop := loops.ByHeader[hi]
+	if loop == nil {
+		return nil, fmt.Errorf("core: block %q is not a loop header", opts.LoopHeader)
+	}
+	lv := dataflow.ComputeLiveness(g)
+	info := loopinfo.Analyze(g, lv, loop)
+
+	if len(info.ExitBlocks) != 1 {
+		return nil, fmt.Errorf("core: loop %q has %d exit targets; Spice requires exactly one",
+			opts.LoopHeader, len(info.ExitBlocks))
+	}
+	if info.Preheader == -1 {
+		return nil, fmt.Errorf("core: loop %q needs a unique preheader", opts.LoopHeader)
+	}
+
+	reds := reduction.Find(g, info)
+	inRed := map[ir.Reg]bool{}
+	for _, grp := range reds {
+		for _, r := range grp.Regs() {
+			inRed[r] = true
+		}
+	}
+
+	a := &Analysis{
+		Fn:         fn,
+		G:          g,
+		Loop:       loop,
+		Info:       info,
+		Reds:       reds,
+		ExitTarget: g.Blocks[info.ExitBlocks[0]].Name,
+		Preheader:  g.Blocks[info.Preheader].Name,
+	}
+	for _, r := range info.Carried {
+		if !inRed[r] {
+			a.Spec = append(a.Spec, r)
+		}
+	}
+	sortRegs(a.Spec)
+	a.Invariant = append(a.Invariant, info.Invariant...)
+	sortRegs(a.Invariant)
+	for _, r := range info.LiveOuts {
+		if !inRed[r] {
+			a.LiveOuts = append(a.LiveOuts, r)
+		}
+	}
+	sortRegs(a.LiveOuts)
+
+	if len(a.Spec) == 0 {
+		return nil, fmt.Errorf("core: loop %q has no speculated live-ins (fully reducible; use DOALL techniques instead)",
+			opts.LoopHeader)
+	}
+	return a, nil
+}
+
+func sortRegs(rs []ir.Reg) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}
+
+// Describe renders a report of the analysis for cmd/spicec.
+func (a *Analysis) Describe() string {
+	f := a.Fn
+	names := func(rs []ir.Reg) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = f.RegName(r)
+		}
+		return out
+	}
+	s := fmt.Sprintf("spice analysis of %s @ %s:\n", f.Name, a.Loop.HeaderName(a.G))
+	s += fmt.Sprintf("  speculated live-ins S: %v\n", names(a.Spec))
+	s += fmt.Sprintf("  invariant live-ins:    %v\n", names(a.Invariant))
+	s += fmt.Sprintf("  non-reduction outs:    %v\n", names(a.LiveOuts))
+	for _, grp := range a.Reds {
+		s += fmt.Sprintf("  reduction: %s over %s payload %v\n",
+			grp.Kind, f.RegName(grp.Reg), names(grp.Payload))
+	}
+	s += fmt.Sprintf("  preheader: %s, exit target: %s\n", a.Preheader, a.ExitTarget)
+	return s
+}

@@ -1,0 +1,502 @@
+package core
+
+import (
+	"fmt"
+
+	"spice/internal/ir"
+	"spice/internal/reduction"
+	"spice/internal/rt"
+)
+
+// Transformed is the result of the Spice transformation.
+type Transformed struct {
+	Prog *ir.Program
+	// Workers holds the generated worker function names; thread i
+	// (1-based) runs Workers[i-1].
+	Workers []string
+	// SVAWidth is |S|: the machine must be built with this width.
+	SVAWidth int
+	Analysis *Analysis
+	Threads  int
+}
+
+// Transform applies the Spice transformation in place: the target
+// function is rewritten to drive the protocol as the main thread, and
+// t−1 worker functions are appended to the program.
+func Transform(prog *ir.Program, opts Options) (*Transformed, error) {
+	a, err := Analyze(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Rets inside the loop body would bypass the exit protocol.
+	for _, bi := range a.Loop.Body {
+		if t := a.G.Blocks[bi].Terminator(); t != nil && t.Op == ir.OpRet {
+			return nil, fmt.Errorf("core: loop %q contains a ret; cannot transform", opts.LoopHeader)
+		}
+	}
+
+	tr := &Transformed{
+		Prog:     prog,
+		SVAWidth: len(a.Spec),
+		Analysis: a,
+		Threads:  opts.Threads,
+	}
+	for i := 1; i < opts.Threads; i++ {
+		w := buildWorker(a, opts, i)
+		prog.AddFunc(w)
+		tr.Workers = append(tr.Workers, w.Name)
+	}
+	if err := rewriteMain(a, opts); err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(prog); err != nil {
+		return nil, fmt.Errorf("core: transformed program fails verification: %w", err)
+	}
+	return tr, nil
+}
+
+// loopBlockNames returns the set of block names in the loop body.
+func loopBlockNames(a *Analysis) map[string]bool {
+	names := make(map[string]bool, len(a.Loop.Body))
+	for _, bi := range a.Loop.Body {
+		names[a.G.Blocks[bi].Name] = true
+	}
+	return names
+}
+
+// redirect rewrites branch targets equal to from into to.
+func redirect(blk *ir.Block, from, to string) {
+	t := blk.Terminator()
+	if t == nil {
+		return
+	}
+	if t.Then == from {
+		t.Then = to
+	}
+	if t.Op == ir.OpCBr && t.Else == from {
+		t.Else = to
+	}
+}
+
+// prologueRegs bundles the per-iteration prologue state (Algorithm 2
+// plus the detection snapshot).
+type prologueRegs struct {
+	mywork   ir.Reg
+	matched  ir.Reg
+	memodone ir.Reg // set once the thread re-memoized its own successor row
+	// thr caches the head of the svat threshold list in a register; it
+	// is refreshed after each lb_advance so the per-iteration check
+	// costs one compare instead of a runtime call.
+	thr       ir.Reg
+	snapValid ir.Reg   // valid only when haveSnap
+	snaps     []ir.Reg // one per Spec register
+	haveSnap  bool
+	// threadIdx is this thread's index; on a successful match the
+	// thread backstop-memoizes row threadIdx (its successor's start)
+	// when no planned threshold has fired, keeping the row valid even
+	// when trip-count drift pushes the planned threshold past the match
+	// point.
+	threadIdx int
+}
+
+// emitPrologue appends the per-iteration blocks: work counting,
+// threshold-driven memoization (Algorithm 2) and mis-speculation
+// detection by comparison against the successor's predicted live-ins.
+// All former branches to the loop header must already target
+// "spice.iter"; the prologue falls through to origHeader.
+func emitPrologue(b *ir.Builder, a *Analysis, pr prologueRegs, origHeader, exitBlock string) {
+	f := b.F
+	afterMemo := origHeader
+	if pr.haveSnap {
+		afterMemo = "spice.det"
+	}
+
+	b.Block("spice.iter")
+	b.Add(pr.mywork, pr.mywork, 1)
+	mc := f.FreshReg("spice.memoc")
+	b.CmpGT(mc, pr.mywork, pr.thr)
+	// The detection compare chain is computed before the (rarely taken)
+	// memoization branch so the whole prologue issues as one ALU group
+	// in the common case. Memoization does not change the compared
+	// registers, so the result stays valid across the memo block.
+	var eq ir.Reg
+	if pr.haveSnap {
+		eq = f.FreshReg("spice.eq")
+		b.CmpEQ(eq, a.Spec[0], pr.snaps[0])
+		for k := 1; k < len(a.Spec); k++ {
+			ek := f.FreshReg("spice.eqk")
+			b.CmpEQ(ek, a.Spec[k], pr.snaps[k])
+			b.And(eq, eq, ek)
+		}
+		b.And(eq, eq, pr.snapValid)
+	}
+	b.CBr(mc, "spice.memo", afterMemo)
+
+	b.Block("spice.memo")
+	idx := f.FreshReg("spice.idx")
+	b.Call(idx, "lb_index")
+	for k, r := range a.Spec {
+		b.Call(nil, "sva_write", idx, int64(k), r)
+	}
+	note := f.FreshReg("spice.note")
+	b.Sub(note, pr.mywork, 1)
+	b.Call(nil, "sva_note", idx, note)
+	b.Call(nil, "sva_set_valid", idx, 1)
+	b.Call(nil, "lb_advance")
+	b.Call(pr.thr, "lb_threshold")
+	// The backstop only stands down once this thread has re-memoized
+	// its own successor's row; writes to other rows don't count.
+	own := f.FreshReg("spice.own")
+	b.CmpEQ(own, idx, int64(pr.threadIdx))
+	b.Or(pr.memodone, pr.memodone, own)
+	b.Br(afterMemo)
+
+	if pr.haveSnap {
+		b.Block("spice.det")
+		b.CBr(eq, "spice.match", origHeader)
+
+		b.Block("spice.match")
+		b.Const(pr.matched, 1)
+		b.CBr(pr.memodone, exitBlock, "spice.chkbs")
+
+		// Backstop re-memoization: when this thread's own pending
+		// threshold (necessarily targeting its successor's row, the
+		// first boundary beyond its start) did not fire before the
+		// match — trip-count growth pushed it past the match point —
+		// the matched live-ins are persisted at the match position so
+		// the row stays valid. If the head of the svat list targets a
+		// different row (or is exhausted), a better-positioned thread
+		// owns this boundary and the backstop stands down.
+		b.Block("spice.chkbs")
+		bidx := f.FreshReg("spice.bidx")
+		b.Call(bidx, "lb_index")
+		own := f.FreshReg("spice.bown")
+		b.CmpEQ(own, bidx, int64(pr.threadIdx))
+		b.CBr(own, "spice.backstop", exitBlock)
+
+		b.Block("spice.backstop")
+		for k, r := range a.Spec {
+			b.Call(nil, "sva_write", int64(pr.threadIdx), int64(k), r)
+		}
+		bnote := f.FreshReg("spice.bnote")
+		b.Sub(bnote, pr.mywork, 1)
+		b.Call(nil, "sva_note", int64(pr.threadIdx), bnote)
+		b.Call(nil, "sva_set_valid", int64(pr.threadIdx), 1)
+		b.Br(exitBlock)
+	}
+}
+
+// buildWorker creates the worker function for thread i: the paper's
+// "copy of the body of L in a separate procedure" wrapped in the
+// invocation protocol (wait for token, receive live-ins, initialize
+// speculative live-ins from SVA row i−1, run, report, recover).
+func buildWorker(a *Analysis, opts Options, i int) *ir.Function {
+	name := fmt.Sprintf("%s.spice.worker%d", a.Fn.Name, i)
+	w := a.Fn.Clone(name)
+	w.Params = nil
+
+	loopNames := loopBlockNames(a)
+	var loopBlocks []*ir.Block
+	for _, blk := range w.Blocks {
+		if loopNames[blk.Name] {
+			loopBlocks = append(loopBlocks, blk)
+		}
+	}
+	w.Blocks = nil
+	b := &ir.Builder{F: w}
+
+	b.Block("spice.entry")
+	b.Call(nil, "set_recovery", ir.Label("spice.recov"))
+	b.Br("spice.wait")
+
+	b.Block("spice.wait")
+	tok := w.FreshReg("spice.tok")
+	b.Call(tok, "recv", rt.TagInvoke)
+	b.CBr(tok, "spice.done", "spice.init")
+
+	b.Block("spice.init")
+	for _, r := range a.Invariant {
+		b.Call(r, "recv", rt.TagLiveIn)
+	}
+	rowValid := w.FreshReg("spice.rowvalid")
+	b.Call(rowValid, "sva_valid", int64(i-1))
+	b.CBr(rowValid, "spice.start", "spice.idle")
+
+	b.Block("spice.start")
+	for k, r := range a.Spec {
+		b.Call(r, "sva_read", int64(i-1), int64(k))
+	}
+	pr := prologueRegs{
+		mywork:    w.FreshReg("spice.mywork"),
+		matched:   w.FreshReg("spice.matched"),
+		memodone:  w.FreshReg("spice.memodone"),
+		thr:       w.FreshReg("spice.thr"),
+		haveSnap:  i < opts.Threads-1,
+		threadIdx: i,
+	}
+	if pr.haveSnap {
+		pr.snapValid = w.FreshReg("spice.snapvalid")
+		b.Call(pr.snapValid, "sva_valid", int64(i))
+		for k := range a.Spec {
+			s := w.FreshReg(fmt.Sprintf("spice.snap%d", k))
+			b.Call(s, "sva_read", int64(i), int64(k))
+			pr.snaps = append(pr.snaps, s)
+		}
+	}
+	for _, grp := range a.Reds {
+		b.Const(grp.Reg, grp.Kind.Identity())
+		for _, p := range grp.Payload {
+			b.Const(p, 0)
+		}
+	}
+	b.Const(pr.matched, 0)
+	b.Const(pr.mywork, 0)
+	b.Const(pr.memodone, 0)
+	b.Call(pr.thr, "lb_threshold")
+	b.Call(nil, "spec_enter")
+	b.Br("spice.iter")
+
+	emitPrologue(b, a, pr, opts.LoopHeader, "spice.exit")
+
+	// Exit path: report completed iterations (mywork counts started
+	// iterations including the final header evaluation), send the exit
+	// record, await the commit verdict. Squashed workers never receive
+	// a verdict; the main thread resteers them into spice.recov instead.
+	b.Block("spice.exit")
+	rep := w.FreshReg("spice.rep")
+	b.Sub(rep, pr.mywork, 1)
+	b.Call(nil, "lb_report", rep)
+	tag := rt.TagExitBase + int64(i)
+	b.Call(nil, "send", 0, tag, pr.matched)
+	for _, grp := range a.Reds {
+		b.Call(nil, "send", 0, tag, grp.Reg)
+		for _, p := range grp.Payload {
+			b.Call(nil, "send", 0, tag, p)
+		}
+	}
+	for _, r := range a.LiveOuts {
+		b.Call(nil, "send", 0, tag, r)
+	}
+	verdict := w.FreshReg("spice.verdict")
+	b.Call(verdict, "recv", rt.TagVerdict)
+	b.Br("spice.wait")
+
+	// Idle path: this worker's SVA row is invalid, so it has no chunk
+	// this invocation. It parks on the verdict tag; the main thread's
+	// resteer pulls it into recovery (the verdict recv never completes).
+	b.Block("spice.idle")
+	vi := w.FreshReg("spice.vidle")
+	b.Call(vi, "recv", rt.TagVerdict)
+	b.Br("spice.wait")
+
+	// Recovery: discard buffered speculative state, zero the work
+	// report, acknowledge, and wait for the next invocation (Section 4,
+	// "Recovery code generation").
+	b.Block("spice.recov")
+	b.Call(nil, "spec_discard")
+	b.Call(nil, "lb_report", 0)
+	b.Call(nil, "send", 0, rt.TagAck, 0)
+	b.Br("spice.wait")
+
+	b.Block("spice.done")
+	b.Ret()
+
+	// Splice in the cloned loop body, rewiring the header edge to the
+	// prologue and every loop exit to the worker's exit path.
+	for _, blk := range loopBlocks {
+		redirect(blk, opts.LoopHeader, "spice.iter")
+		t := blk.Terminator()
+		if t != nil && (t.Op == ir.OpBr || t.Op == ir.OpCBr) {
+			if t.Then != "spice.iter" && !loopNames[t.Then] {
+				t.Then = "spice.exit"
+			}
+			if t.Op == ir.OpCBr && t.Else != "spice.iter" && !loopNames[t.Else] {
+				t.Else = "spice.exit"
+			}
+		}
+	}
+	w.Blocks = append(w.Blocks, loopBlocks...)
+	return w
+}
+
+// rewriteMain turns the original function into the main-thread protocol
+// driver: invocation kickoff in the preheader, the iteration prologue on
+// the loop, and the epilogue chain (receive exit records in thread
+// order, commit validated buffers, merge reductions and live-outs,
+// resteer the mis-speculated suffix, gather acknowledgments, plan the
+// next invocation).
+func rewriteMain(a *Analysis, opts Options) error {
+	f := a.Fn
+	t := opts.Threads
+	loopNames := loopBlockNames(a)
+
+	// Redirect every branch to the header (preheader and latches) to
+	// the prologue, and loop exits to the epilogue. This must precede
+	// the emission of the new blocks, which legitimately reference the
+	// original header and exit target.
+	for _, blk := range f.Blocks {
+		redirect(blk, opts.LoopHeader, "spice.iter")
+	}
+	for _, blk := range f.Blocks {
+		if loopNames[blk.Name] {
+			redirect(blk, a.ExitTarget, "spice.epi")
+		}
+	}
+
+	// Shutdown: before every ret in main, tell the workers to exit.
+	for _, blk := range f.Blocks {
+		term := blk.Terminator()
+		if term == nil || term.Op != ir.OpRet {
+			continue
+		}
+		var shutdown []*ir.Instr
+		for i := 1; i < t; i++ {
+			shutdown = append(shutdown, &ir.Instr{
+				Op: ir.OpCall, Dst: ir.NoReg, Callee: "send",
+				Args: []ir.Operand{ir.Imm(int64(i)), ir.Imm(rt.TagInvoke), ir.Imm(1)},
+			})
+		}
+		blk.Instrs = append(blk.Instrs[:len(blk.Instrs)-1],
+			append(shutdown, term)...)
+	}
+
+	b := &ir.Builder{F: f}
+	pr := prologueRegs{
+		mywork:    f.FreshReg("spice.mywork"),
+		matched:   f.FreshReg("spice.matched"),
+		memodone:  f.FreshReg("spice.memodone"),
+		thr:       f.FreshReg("spice.thr"),
+		snapValid: f.FreshReg("spice.snapvalid"),
+		haveSnap:  true,
+		threadIdx: 0,
+	}
+
+	// Preheader: kick off the invocation and snapshot row 0 (thread 1's
+	// predicted start) for detection.
+	pre := f.FindBlock(a.Preheader)
+	scratch := &ir.Block{Name: "spice.scratch"}
+	b.SetBlock(scratch)
+	for i := 1; i < t; i++ {
+		b.Call(nil, "send", i, rt.TagInvoke, 0)
+	}
+	for i := 1; i < t; i++ {
+		for _, r := range a.Invariant {
+			b.Call(nil, "send", i, rt.TagLiveIn, r)
+		}
+	}
+	b.Call(pr.snapValid, "sva_valid", 0)
+	for k := range a.Spec {
+		s := f.FreshReg(fmt.Sprintf("spice.snap%d", k))
+		b.Call(s, "sva_read", 0, int64(k))
+		pr.snaps = append(pr.snaps, s)
+	}
+	b.Const(pr.matched, 0)
+	b.Const(pr.mywork, 0)
+	b.Const(pr.memodone, 0)
+	b.Call(pr.thr, "lb_threshold")
+	preTerm := pre.Terminator()
+	if preTerm == nil {
+		return fmt.Errorf("core: preheader %q lacks a terminator", a.Preheader)
+	}
+	pre.Instrs = append(pre.Instrs[:len(pre.Instrs)-1],
+		append(scratch.Instrs, preTerm)...)
+
+	emitPrologue(b, a, pr, opts.LoopHeader, "spice.epi")
+
+	// Epilogue: the distributed validation chain.
+	b.Block("spice.epi")
+	rep := f.FreshReg("spice.rep")
+	b.Sub(rep, pr.mywork, 1)
+	b.Call(nil, "lb_report", rep)
+	chain := f.FreshReg("spice.chain")
+	b.Move(chain, pr.matched)
+	nsq := f.FreshReg("spice.nsq")
+	b.Const(nsq, 0)
+	b.Br("spice.chk1")
+
+	for i := 1; i < t; i++ {
+		next := "spice.acks"
+		if i < t-1 {
+			next = fmt.Sprintf("spice.chk%d", i+1)
+		}
+		rcv := fmt.Sprintf("spice.rcv%d", i)
+		sq := fmt.Sprintf("spice.sq%d", i)
+		tag := rt.TagExitBase + int64(i)
+
+		b.Block(fmt.Sprintf("spice.chk%d", i))
+		b.CBr(chain, rcv, sq)
+
+		b.Block(rcv)
+		mi := f.FreshReg("spice.mi")
+		b.Call(mi, "recv", tag)
+		b.Call(nil, "spec_commit", i)
+		b.Call(nil, "send", i, rt.TagVerdict, 0)
+		for gi, grp := range a.Reds {
+			partial := f.FreshReg("spice.red")
+			b.Call(partial, "recv", tag)
+			var payloads []ir.Reg
+			for range grp.Payload {
+				p := f.FreshReg("spice.pay")
+				b.Call(p, "recv", tag)
+				payloads = append(payloads, p)
+			}
+			if op, ok := grp.Kind.MergeOp(); ok {
+				b.Bin(op, grp.Reg, grp.Reg, partial)
+				continue
+			}
+			cond := f.FreshReg("spice.mc")
+			if grp.Kind == reduction.Min {
+				b.CmpLT(cond, partial, grp.Reg)
+			} else {
+				b.CmpGT(cond, partial, grp.Reg)
+			}
+			upd := fmt.Sprintf("spice.upd%d_%d", i, gi)
+			cont := fmt.Sprintf("spice.cont%d_%d", i, gi)
+			b.CBr(cond, upd, cont)
+			b.Block(upd)
+			b.Move(grp.Reg, partial)
+			for k, p := range grp.Payload {
+				b.Move(p, payloads[k])
+			}
+			b.Br(cont)
+			b.Block(cont)
+		}
+		for _, r := range a.LiveOuts {
+			o := f.FreshReg("spice.out")
+			b.Call(o, "recv", tag)
+			b.Move(r, o)
+		}
+		b.Move(chain, mi)
+		b.Br(next)
+
+		b.Block(sq)
+		b.Call(nil, "resteer", i)
+		b.Add(nsq, nsq, 1)
+		b.Br(next)
+	}
+
+	// Gather recovery acknowledgments from the squashed suffix, flush
+	// their stale exit records, and run the central predictor (paper:
+	// "after all the tokens have been received, the main thread commits
+	// the current memory state"; our validated commits already happened
+	// in chain order, so the remaining step is planning).
+	b.Block("spice.acks")
+	more := f.FreshReg("spice.more")
+	b.CmpGT(more, nsq, 0)
+	b.CBr(more, "spice.ack1", "spice.flush")
+
+	b.Block("spice.ack1")
+	ad := f.FreshReg("spice.ackv")
+	b.Call(ad, "recv", rt.TagAck)
+	b.Sub(nsq, nsq, 1)
+	b.Br("spice.acks")
+
+	b.Block("spice.flush")
+	for i := 1; i < t; i++ {
+		b.Call(nil, "flush", rt.TagExitBase+int64(i))
+	}
+	b.Call(nil, "lb_plan")
+	b.Br(a.ExitTarget)
+
+	return nil
+}

@@ -1,0 +1,276 @@
+package interp
+
+import (
+	"spice/internal/ir"
+)
+
+// call dispatches a runtime intrinsic. Each handler performs the
+// functional effect through the rt.Machine, computes a latency and
+// advances the thread. recv may block instead of advancing.
+func (it *Interp) call(t *thread, in *ir.Instr) error {
+	cfg := it.m.Cfg
+	core := it.m.Core(t.id)
+	buf := it.m.Bufs[t.id]
+
+	// argv evaluates non-label arguments.
+	argv := func(i int) int64 { return t.val(in.Args[i]) }
+
+	finish := func(result int64, lat int) {
+		t.aluRun = 0
+		if in.Dst != ir.NoReg {
+			t.regs[in.Dst] = result
+		}
+		t.clock += int64(lat)
+		t.pc++
+		t.instrs++
+		it.total++
+		it.m.RegionInstr()
+	}
+
+	switch in.Callee {
+	case "alloc":
+		n := argv(0)
+		if n < 0 {
+			return it.trap(t, in, "negative allocation %d", n)
+		}
+		finish(it.m.Mem.Alloc(n), cfg.ALULat)
+
+	case "print":
+		if len(it.prints) < it.opts.MaxPrints {
+			it.prints = append(it.prints, argv(0))
+		}
+		finish(0, cfg.ALULat)
+
+	case "tid":
+		finish(int64(t.id), cfg.ALULat)
+
+	case "nthreads":
+		finish(int64(len(it.threads)), cfg.ALULat)
+
+	case "send":
+		to := int(argv(0))
+		if to < 0 || to >= len(it.threads) {
+			return it.trap(t, in, "send to bad thread %d", to)
+		}
+		tag, val := argv(1), argv(2)
+		availAt := t.clock + int64(cfg.CommLat)
+		it.m.Send(to, tag, val, availAt)
+		it.wakeOnTag(to, tag)
+		finish(0, cfg.ALULat)
+
+	case "recv":
+		tag := argv(0)
+		val, availAt, ok := it.m.TryRecv(t.id, tag)
+		if !ok {
+			t.status = blocked
+			t.waitTag = tag
+			return nil // re-execute on wake; no clock advance
+		}
+		if availAt > t.clock {
+			t.clock = availAt
+		}
+		finish(val, cfg.ALULat)
+
+	case "flush":
+		it.m.Flush(t.id, argv(0))
+		finish(0, cfg.ALULat)
+
+	case "sva_read":
+		addr, err := it.m.SVAReadAddr(argv(0), argv(1))
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		lat := it.m.Hier.Access(core, addr, false)
+		v, err := buf.Load(addr)
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(v, lat)
+
+	case "sva_valid":
+		addr, err := it.m.SVAValidAddr(argv(0))
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		lat := it.m.Hier.Access(core, addr, false)
+		v, err := buf.Load(addr)
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(v, lat)
+
+	case "sva_write":
+		addr, err := it.m.SVAWriteAddr(argv(0), argv(1))
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		lat := it.m.Hier.Access(core, addr, true)
+		if err := it.storeThrough(t, addr, argv(2)); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, lat)
+
+	case "sva_note":
+		posAddr, writerAddr, err := it.m.SVANoteAddrs(argv(0))
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		lat := it.m.Hier.Access(core, posAddr, true)
+		if err := it.storeThrough(t, posAddr, argv(1)); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		if err := it.storeThrough(t, writerAddr, int64(t.id)); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, lat)
+
+	case "sva_set_valid":
+		addr, err := it.m.SVASetValidAddr(argv(0))
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		lat := it.m.Hier.Access(core, addr, true)
+		if err := it.storeThrough(t, addr, argv(1)); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, lat)
+
+	case "lb_threshold":
+		finish(it.m.LBThreshold(t.id), cfg.ALULat)
+
+	case "lb_index":
+		finish(it.m.LBIndex(t.id), cfg.ALULat)
+
+	case "lb_advance":
+		it.m.LBAdvance(t.id)
+		finish(0, cfg.ALULat)
+
+	case "lb_report":
+		addr := it.m.WorkAddr(t.id)
+		lat := it.m.Hier.Access(core, addr, true)
+		if err := it.storeThrough(t, addr, argv(0)); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, lat)
+
+	case "lb_plan":
+		lat, err := it.m.Plan()
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, lat)
+
+	case "spec_enter":
+		if err := it.m.SpecEnter(t.id); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, cfg.SpecEnterLat)
+
+	case "spec_commit":
+		target := int(argv(0))
+		if target < 0 || target >= len(it.threads) {
+			return it.trap(t, in, "commit of bad thread %d", target)
+		}
+		n, err := it.m.CommitThread(target)
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, cfg.CommitBaseLat+n*cfg.CommitWordLat)
+
+	case "spec_discard":
+		it.m.DiscardThread(t.id)
+		finish(0, cfg.SpecEnterLat)
+
+	case "spec_conflicts":
+		target := int(argv(0))
+		if target < 0 || target >= len(it.threads) {
+			return it.trap(t, in, "conflicts of bad thread %d", target)
+		}
+		finish(int64(it.m.ThreadConflicts(target)), cfg.ALULat)
+
+	case "set_recovery":
+		if in.Args[0].Kind != ir.KindLabel {
+			return it.trap(t, in, "set_recovery wants a label operand")
+		}
+		label := in.Args[0].Label
+		if _, ok := t.blocks[label]; !ok {
+			return it.trap(t, in, "recovery block %q not in %s", label, t.fn.Name)
+		}
+		it.m.SetRecovery(t.id, label)
+		finish(0, cfg.ALULat)
+
+	case "resteer":
+		target := int(argv(0))
+		if target < 0 || target >= len(it.threads) {
+			return it.trap(t, in, "resteer of bad thread %d", target)
+		}
+		if target == t.id {
+			return it.trap(t, in, "thread cannot resteer itself")
+		}
+		tt := it.threads[target]
+		if tt.status == done {
+			return it.trap(t, in, "resteer of finished thread %d", target)
+		}
+		if it.m.Recovery(target) == "" {
+			return it.trap(t, in, "thread %d has no recovery block", target)
+		}
+		it.m.NoteResteer()
+		tt.pendingResteer = true
+		tt.resteerAt = t.clock + int64(cfg.ResteerLat)
+		if tt.status == blocked {
+			tt.status = ready
+		}
+		finish(0, cfg.ALULat)
+
+	case "halt":
+		it.halted = true
+		finish(0, cfg.ALULat)
+
+	case "region_enter":
+		it.m.RegionEnter(argv(0), t.clock)
+		finish(0, cfg.ALULat)
+
+	case "region_exit":
+		if err := it.m.RegionExit(argv(0), t.clock); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, cfg.ALULat)
+
+	case "hook":
+		if err := it.m.RunHook(argv(0)); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		finish(0, 10)
+
+	case "prof_invoke":
+		if it.m.Prof != nil {
+			it.m.Prof.NewInvocation(argv(0))
+		}
+		finish(0, cfg.ALULat)
+
+	case "prof_record":
+		if len(in.Args) < 1 {
+			return it.trap(t, in, "prof_record wants a loop id")
+		}
+		if it.m.Prof != nil {
+			vals := make([]int64, len(in.Args)-1)
+			for i := 1; i < len(in.Args); i++ {
+				vals[i-1] = argv(i)
+			}
+			it.m.Prof.RecordValues(argv(0), vals)
+		}
+		finish(0, cfg.ALULat*len(in.Args))
+
+	default:
+		return it.trap(t, in, "unknown intrinsic %q", in.Callee)
+	}
+	return nil
+}
+
+// wakeOnTag readies a thread blocked waiting for (to, tag).
+func (it *Interp) wakeOnTag(to int, tag int64) {
+	tt := it.threads[to]
+	if tt.status == blocked && tt.waitTag == tag {
+		tt.status = ready
+	}
+}

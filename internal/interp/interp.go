@@ -1,0 +1,450 @@
+// Package interp executes IR programs on the modelled multicore machine.
+// Each simulated thread runs one IR function; a discrete-event scheduler
+// advances the thread with the smallest clock, executing one instruction
+// at a time. Operation latencies come from the sim configuration; loads
+// and stores are priced by the cache hierarchy and routed through the
+// thread's speculative buffer; runtime intrinsics are delegated to the
+// rt.Machine.
+package interp
+
+import (
+	"fmt"
+
+	"spice/internal/ir"
+	"spice/internal/rt"
+)
+
+// ThreadSpec names the function a thread executes and its arguments.
+type ThreadSpec struct {
+	Fn   string
+	Args []int64
+}
+
+// Options tune a run.
+type Options struct {
+	// MaxInstrs bounds total executed instructions across all threads
+	// (runaway-loop fuse). Zero means the default of 400M.
+	MaxInstrs int64
+	// MaxPrints bounds the captured print() output.
+	MaxPrints int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Cycles is the finishing clock of thread 0 (the main thread).
+	Cycles int64
+	// ThreadCycles and ThreadInstrs are per-thread totals.
+	ThreadCycles []int64
+	ThreadInstrs []int64
+	// TotalInstrs sums instruction counts over all threads.
+	TotalInstrs int64
+	// Returns holds each thread's ret operand values (nil if the thread
+	// never returned, e.g. the run ended with halt).
+	Returns [][]int64
+	// Prints collects the values passed to the print intrinsic, in
+	// execution order.
+	Prints []int64
+	// Halted reports whether the run ended via the halt intrinsic.
+	Halted bool
+}
+
+type status int
+
+const (
+	ready status = iota
+	blocked
+	done
+)
+
+type thread struct {
+	id      int
+	fn      *ir.Function
+	blocks  map[string]int
+	regs    []int64
+	blk     int
+	pc      int
+	clock   int64
+	status  status
+	waitTag int64
+	retVals []int64
+	instrs  int64
+
+	// aluRun counts consecutive single-cycle ALU operations for the
+	// issue-width model: the first op of each group costs a cycle, the
+	// rest of the group issues for free.
+	aluRun int
+
+	pendingResteer bool
+	resteerAt      int64
+}
+
+// Interp is one run in progress.
+type Interp struct {
+	m       *rt.Machine
+	prog    *ir.Program
+	threads []*thread
+	opts    Options
+	halted  bool
+	prints  []int64
+	total   int64
+
+	globalAddrs   []int64
+	globalsByName map[string]int64
+}
+
+// New prepares a run: it loads globals into simulated memory and creates
+// one thread per spec. Thread 0 is the main thread.
+func New(m *rt.Machine, prog *ir.Program, specs []ThreadSpec, opts Options) (*Interp, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("interp: no threads")
+	}
+	if len(specs) > m.NThreads {
+		return nil, fmt.Errorf("interp: %d threads but machine sized for %d", len(specs), m.NThreads)
+	}
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 400_000_000
+	}
+	if opts.MaxPrints == 0 {
+		opts.MaxPrints = 1 << 20
+	}
+	it := &Interp{m: m, prog: prog, opts: opts, globalsByName: make(map[string]int64)}
+
+	// Assign global addresses on first use of this machine. Globals are
+	// idempotent per machine: a second New on the same machine reuses
+	// the layout only if none were allocated; keeping it simple, globals
+	// are allocated each run (harnesses create one Interp per Machine).
+	for _, g := range prog.Globals {
+		addr := m.Mem.Alloc(g.Size)
+		it.globalAddrs = append(it.globalAddrs, addr)
+		it.globalsByName[g.Name] = addr
+	}
+
+	for i, s := range specs {
+		f := prog.Func(s.Fn)
+		if f == nil {
+			return nil, fmt.Errorf("interp: thread %d: no function %q", i, s.Fn)
+		}
+		t := &thread{
+			id:     i,
+			fn:     f,
+			blocks: blockIndex(f),
+			regs:   make([]int64, f.NumRegs()),
+		}
+		if len(s.Args) != len(f.Params) {
+			return nil, fmt.Errorf("interp: thread %d: %s wants %d args, got %d",
+				i, f.Name, len(f.Params), len(s.Args))
+		}
+		for ai, p := range f.Params {
+			t.regs[p] = s.Args[ai]
+		}
+		it.threads = append(it.threads, t)
+	}
+	return it, nil
+}
+
+func blockIndex(f *ir.Function) map[string]int {
+	idx := make(map[string]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		idx[b.Name] = i
+	}
+	return idx
+}
+
+// GlobalAddr returns the simulated address of a named global.
+func (it *Interp) GlobalAddr(name string) (int64, bool) {
+	a, ok := it.globalsByName[name]
+	return a, ok
+}
+
+// Run drives the simulation to completion: all threads returned, the
+// halt intrinsic fired, or an error (trap, deadlock, fuel exhausted).
+func (it *Interp) Run() (*Result, error) {
+	for !it.halted {
+		t := it.pick()
+		if t == nil {
+			if it.allDone() {
+				break
+			}
+			return nil, it.deadlockError()
+		}
+		if err := it.step(t); err != nil {
+			return nil, err
+		}
+		if it.total > it.opts.MaxInstrs {
+			return nil, fmt.Errorf("interp: instruction budget (%d) exhausted; runaway loop?", it.opts.MaxInstrs)
+		}
+	}
+	res := &Result{
+		Halted:      it.halted,
+		Prints:      it.prints,
+		TotalInstrs: it.total,
+	}
+	for _, t := range it.threads {
+		res.ThreadCycles = append(res.ThreadCycles, t.clock)
+		res.ThreadInstrs = append(res.ThreadInstrs, t.instrs)
+		res.Returns = append(res.Returns, t.retVals)
+	}
+	res.Cycles = it.threads[0].clock
+	return res, nil
+}
+
+// pick selects the ready thread with the smallest clock (lowest id wins
+// ties), keeping the simulation deterministic.
+func (it *Interp) pick() *thread {
+	var best *thread
+	for _, t := range it.threads {
+		if t.status != ready {
+			continue
+		}
+		if best == nil || t.clock < best.clock {
+			best = t
+		}
+	}
+	return best
+}
+
+func (it *Interp) allDone() bool {
+	for _, t := range it.threads {
+		if t.status != done {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *Interp) deadlockError() error {
+	s := "interp: deadlock: all live threads blocked:"
+	for _, t := range it.threads {
+		if t.status == blocked {
+			s += fmt.Sprintf(" [t%d %s@%s waiting tag %d]",
+				t.id, t.fn.Name, t.fn.Blocks[t.blk].Name, t.waitTag)
+		}
+	}
+	return fmt.Errorf("%s", s)
+}
+
+// trap builds an execution error with full context.
+func (it *Interp) trap(t *thread, in *ir.Instr, format string, args ...any) error {
+	where := fmt.Sprintf("t%d %s:%s+%d", t.id, t.fn.Name, t.fn.Blocks[t.blk].Name, t.pc)
+	what := ""
+	if in != nil {
+		what = ": " + in.String(t.fn)
+	}
+	return fmt.Errorf("interp: %s%s: %s", where, what, fmt.Sprintf(format, args...))
+}
+
+// val evaluates a register or immediate operand.
+func (t *thread) val(o ir.Operand) int64 {
+	if o.Kind == ir.KindImm {
+		return o.Imm
+	}
+	return t.regs[o.Reg]
+}
+
+// wake marks a blocked thread ready (message arrived or resteer).
+func (it *Interp) wake(tid int) {
+	t := it.threads[tid]
+	if t.status == blocked {
+		t.status = ready
+	}
+}
+
+// step executes one instruction (or takes a pending resteer) on t.
+func (it *Interp) step(t *thread) error {
+	if t.pendingResteer {
+		rec := it.m.Recovery(t.id)
+		bi, ok := t.blocks[rec]
+		if !ok {
+			return it.trap(t, nil, "resteer to unknown recovery block %q", rec)
+		}
+		t.pendingResteer = false
+		t.blk, t.pc = bi, 0
+		if t.resteerAt > t.clock {
+			t.clock = t.resteerAt
+		}
+		t.clock += int64(it.m.Cfg.ResteerLat)
+		return nil
+	}
+
+	if t.blk >= len(t.fn.Blocks) || t.pc >= len(t.fn.Blocks[t.blk].Instrs) {
+		return it.trap(t, nil, "fell off block end")
+	}
+	in := t.fn.Blocks[t.blk].Instrs[t.pc]
+	cfg := it.m.Cfg
+	core := it.m.Core(t.id)
+	buf := it.m.Bufs[t.id]
+
+	advance := func(lat int) {
+		t.aluRun = 0
+		t.clock += int64(lat)
+		t.pc++
+		t.instrs++
+		it.total++
+		it.m.RegionInstr()
+	}
+	// advanceALU applies the issue-width model to single-cycle ops.
+	advanceALU := func() {
+		if t.aluRun == 0 {
+			t.clock += int64(cfg.ALULat)
+		}
+		t.aluRun++
+		if width := cfg.IssueWidth; width > 1 && t.aluRun >= width {
+			t.aluRun = 0
+		} else if width <= 1 {
+			t.aluRun = 0
+		}
+		t.pc++
+		t.instrs++
+		it.total++
+		it.m.RegionInstr()
+	}
+
+	switch in.Op {
+	case ir.OpConst:
+		t.regs[in.Dst] = in.Imm
+		advanceALU()
+	case ir.OpMove:
+		t.regs[in.Dst] = t.val(in.Args[0])
+		advanceALU()
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		v, err := binOp(in.Op, t.val(in.Args[0]), t.val(in.Args[1]))
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		t.regs[in.Dst] = v
+		advanceALU()
+	case ir.OpMul, ir.OpDiv, ir.OpRem:
+		a, b := t.val(in.Args[0]), t.val(in.Args[1])
+		v, err := binOp(in.Op, a, b)
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		t.regs[in.Dst] = v
+		advance(cfg.OpCost(in.Op))
+	case ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		t.regs[in.Dst] = cmpOp(in.Op, t.val(in.Args[0]), t.val(in.Args[1]))
+		advanceALU()
+	case ir.OpLoad:
+		addr := t.val(in.Args[0]) + in.Args[1].Imm
+		lat := it.m.Hier.Access(core, addr, false)
+		v, err := buf.Load(addr)
+		if err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		t.regs[in.Dst] = v
+		advance(lat)
+	case ir.OpStore:
+		addr := t.val(in.Args[1]) + in.Args[2].Imm
+		lat := it.m.Hier.Access(core, addr, true)
+		if err := it.storeThrough(t, addr, t.val(in.Args[0])); err != nil {
+			return it.trap(t, in, "%v", err)
+		}
+		advance(lat)
+	case ir.OpBr:
+		bi := t.blocks[in.Then]
+		t.aluRun = 0
+		t.clock += int64(cfg.BranchLat)
+		t.instrs++
+		it.total++
+		it.m.RegionInstr()
+		t.blk, t.pc = bi, 0
+	case ir.OpCBr:
+		target := in.Else
+		if t.val(in.Args[0]) != 0 {
+			target = in.Then
+		}
+		bi := t.blocks[target]
+		t.aluRun = 0
+		t.clock += int64(cfg.BranchLat)
+		t.instrs++
+		it.total++
+		it.m.RegionInstr()
+		t.blk, t.pc = bi, 0
+	case ir.OpRet:
+		vals := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			vals[i] = t.val(a)
+		}
+		t.aluRun = 0
+		t.retVals = vals
+		if t.retVals == nil {
+			t.retVals = []int64{}
+		}
+		t.status = done
+		t.instrs++
+		it.total++
+	case ir.OpCall:
+		return it.call(t, in)
+	default:
+		return it.trap(t, in, "invalid opcode")
+	}
+	return nil
+}
+
+// storeThrough routes a store via the thread's buffer and records
+// non-speculative writes for conflict detection.
+func (it *Interp) storeThrough(t *thread, addr, val int64) error {
+	buf := it.m.Bufs[t.id]
+	wasActive := buf.Active()
+	if err := buf.Store(addr, val); err != nil {
+		return err
+	}
+	if !wasActive {
+		it.m.NoteDirectStore(addr)
+	}
+	return nil
+}
+
+func binOp(op ir.Op, a, b int64) (int64, error) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, nil
+	case ir.OpSub:
+		return a - b, nil
+	case ir.OpMul:
+		return a * b, nil
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case ir.OpRem:
+		if b == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return a % b, nil
+	case ir.OpAnd:
+		return a & b, nil
+	case ir.OpOr:
+		return a | b, nil
+	case ir.OpXor:
+		return a ^ b, nil
+	case ir.OpShl:
+		return a << uint(b&63), nil
+	case ir.OpShr:
+		return a >> uint(b&63), nil
+	}
+	return 0, fmt.Errorf("bad binop")
+}
+
+func cmpOp(op ir.Op, a, b int64) int64 {
+	var r bool
+	switch op {
+	case ir.OpCmpEQ:
+		r = a == b
+	case ir.OpCmpNE:
+		r = a != b
+	case ir.OpCmpLT:
+		r = a < b
+	case ir.OpCmpLE:
+		r = a <= b
+	case ir.OpCmpGT:
+		r = a > b
+	case ir.OpCmpGE:
+		r = a >= b
+	}
+	if r {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,632 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"spice/internal/irparse"
+	"spice/internal/rt"
+	"spice/internal/sim"
+)
+
+func run(t *testing.T, src string, threads int, specs []ThreadSpec) (*Result, *rt.Machine) {
+	t.Helper()
+	res, m, err := tryRun(src, threads, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m
+}
+
+func tryRun(src string, threads int, specs []ThreadSpec) (*Result, *rt.Machine, error) {
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := rt.New(sim.DefaultConfig(), threads, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := New(m, prog, specs, Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := it.Run()
+	return res, m, err
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+func main(n) {
+entry:
+  s = const 0
+  i = const 0
+  br header
+header:
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  s = add s, i
+  i = add i, 1
+  br header
+exit:
+  ret s
+}
+`
+	res, _ := run(t, src, 1, []ThreadSpec{{Fn: "main", Args: []int64{10}}})
+	if len(res.Returns[0]) != 1 || res.Returns[0][0] != 45 {
+		t.Errorf("sum = %v, want [45]", res.Returns[0])
+	}
+	if res.ThreadInstrs[0] == 0 || res.Cycles == 0 {
+		t.Error("no accounting")
+	}
+}
+
+func TestAllOpcodesEvaluate(t *testing.T) {
+	src := `
+func main() {
+entry:
+  a = const 13
+  b = const 5
+  q = div a, b
+  r = rem a, b
+  m = mul a, b
+  d = sub a, b
+  an = and a, b
+  o = or a, b
+  x = xor a, b
+  sl = shl b, 2
+  sr = shr a, 1
+  e1 = cmpeq a, 13
+  e2 = cmpne a, b
+  e3 = cmple b, 5
+  e4 = cmpge b, a
+  mv = move sl
+  ret q, r, m, d, an, o, x, mv, sr, e1, e2, e3, e4
+}
+`
+	res, _ := run(t, src, 1, []ThreadSpec{{Fn: "main"}})
+	want := []int64{2, 3, 65, 8, 5, 13, 8, 20, 6, 1, 1, 1, 0}
+	got := res.Returns[0]
+	if len(got) != len(want) {
+		t.Fatalf("returns = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ret[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMemoryAllocLoadStore(t *testing.T) {
+	src := `
+func main() {
+entry:
+  p = call alloc(4)
+  store 11, p, 0
+  store 22, p, 1
+  v0 = load p, 0
+  v1 = load p, 1
+  sum = add v0, v1
+  ret sum
+}
+`
+	res, _ := run(t, src, 1, []ThreadSpec{{Fn: "main"}})
+	if res.Returns[0][0] != 33 {
+		t.Errorf("sum = %d", res.Returns[0][0])
+	}
+}
+
+func TestGlobalsAllocated(t *testing.T) {
+	src := `
+global g 8
+
+func main() {
+entry:
+  ret
+}
+`
+	prog := irparse.MustParse(src)
+	m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+	it, err := New(m, prog, []ThreadSpec{{Fn: "main"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := it.GlobalAddr("g")
+	if !ok || addr <= 0 {
+		t.Errorf("global addr = %d, %v", addr, ok)
+	}
+	if _, ok := it.GlobalAddr("nope"); ok {
+		t.Error("unknown global resolved")
+	}
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	src := `
+func main() {
+entry:
+  z = const 0
+  a = const 1
+  q = div a, z
+  ret q
+}
+`
+	_, _, err := tryRun(src, 1, []ThreadSpec{{Fn: "main"}})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSendRecvAcrossThreads(t *testing.T) {
+	src := `
+func main() {
+entry:
+  call send(1, 7, 41)
+  v = call recv(8)
+  ret v
+}
+
+func worker() {
+entry:
+  x = call recv(7)
+  y = add x, 1
+  t = call tid()
+  n = call nthreads()
+  call send(0, 8, y)
+  ret t, n
+}
+`
+	res, m := run(t, src, 2, []ThreadSpec{{Fn: "main"}, {Fn: "worker"}})
+	if res.Returns[0][0] != 42 {
+		t.Errorf("main got %d", res.Returns[0][0])
+	}
+	if res.Returns[1][0] != 1 || res.Returns[1][1] != 2 {
+		t.Errorf("worker tid/nthreads = %v", res.Returns[1])
+	}
+	if m.Stats.Sends != 2 || m.Stats.Recvs != 2 {
+		t.Errorf("comm stats = %+v", m.Stats)
+	}
+	// Communication latency is visible: main cannot finish before the
+	// round trip.
+	if res.Cycles < int64(2*sim.DefaultConfig().CommLat) {
+		t.Errorf("cycles = %d, too fast for two messages", res.Cycles)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	// Worker sends only after doing slow work; main's clock must be
+	// dragged past the worker's send time.
+	src := `
+func main() {
+entry:
+  v = call recv(5)
+  ret v
+}
+
+func worker() {
+entry:
+  i = const 0
+  br header
+header:
+  c = cmplt i, 1000
+  cbr c, body, send
+body:
+  i = add i, 1
+  br header
+send:
+  call send(0, 5, 99)
+  ret
+}
+`
+	res, _ := run(t, src, 2, []ThreadSpec{{Fn: "main"}, {Fn: "worker"}})
+	if res.Returns[0][0] != 99 {
+		t.Errorf("recv = %d", res.Returns[0][0])
+	}
+	if res.Cycles < 2000 {
+		t.Errorf("main cycles = %d; must wait for worker", res.Cycles)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	src := `
+func main() {
+entry:
+  v = call recv(1)
+  ret v
+}
+`
+	_, _, err := tryRun(src, 1, []ThreadSpec{{Fn: "main"}})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	src := `
+func main() {
+entry:
+  br entry
+}
+`
+	prog := irparse.MustParse(src)
+	m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+	it, _ := New(m, prog, []ThreadSpec{{Fn: "main"}}, Options{MaxInstrs: 1000})
+	_, err := it.Run()
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHaltStopsAllThreads(t *testing.T) {
+	src := `
+func main() {
+entry:
+  call print(1)
+  call halt()
+  call print(2)
+  ret
+}
+
+func worker() {
+entry:
+  br entry
+}
+`
+	res, _ := run(t, src, 2, []ThreadSpec{{Fn: "main"}, {Fn: "worker"}})
+	if !res.Halted {
+		t.Error("not halted")
+	}
+	if len(res.Prints) != 1 || res.Prints[0] != 1 {
+		t.Errorf("prints = %v", res.Prints)
+	}
+	if res.Returns[0] != nil {
+		t.Error("main should not have returned")
+	}
+}
+
+func TestSpeculationCommitFlow(t *testing.T) {
+	// Worker speculates, stores, main commits; the store must be
+	// visible afterwards.
+	src := `
+global data 4
+
+func main(dataAddr) {
+entry:
+  call send(1, 1, dataAddr)
+  r = call recv(2)
+  call spec_commit(1)
+  v = load dataAddr, 0
+  call send(1, 3, 0)
+  ret v
+}
+
+func worker() {
+entry:
+  a = call recv(1)
+  call spec_enter()
+  store 123, a, 0
+  call send(0, 2, 0)
+  v = call recv(3)
+  ret
+}
+`
+	prog := irparse.MustParse(src)
+	m, _ := rt.New(sim.DefaultConfig(), 2, 1)
+	it, _ := New(m, prog, []ThreadSpec{{Fn: "main", Args: []int64{0}}, {Fn: "worker"}}, Options{})
+	addr, _ := it.GlobalAddr("data")
+	// Rebuild with the address as argument.
+	it2, _ := New(m, prog, []ThreadSpec{{Fn: "main", Args: []int64{addr}}, {Fn: "worker"}}, Options{})
+	res, err := it2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Returns[0][0] != 123 {
+		t.Errorf("committed value = %d", res.Returns[0][0])
+	}
+	if m.Stats.Commits != 1 || m.Stats.CommittedWords != 1 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}
+
+func TestResteerRedirectsBlockedThread(t *testing.T) {
+	// Worker registers recovery, then blocks on a message that never
+	// comes; main resteers it into recovery, which acknowledges.
+	src := `
+func main() {
+entry:
+  r = call recv(9)
+  call resteer(1)
+  a = call recv(4)
+  ret a
+}
+
+func worker() {
+entry:
+  call set_recovery(@recov)
+  call send(0, 9, 0)
+  v = call recv(99)
+  ret v
+recov:
+  call spec_discard()
+  call send(0, 4, 777)
+  ret 0
+}
+`
+	res, m := run(t, src, 2, []ThreadSpec{{Fn: "main"}, {Fn: "worker"}})
+	if res.Returns[0][0] != 777 {
+		t.Errorf("ack = %d", res.Returns[0][0])
+	}
+	if res.Returns[1][0] != 0 {
+		t.Errorf("worker ret = %v, want recovery path", res.Returns[1])
+	}
+	if m.Stats.Resteers != 1 {
+		t.Errorf("resteers = %d", m.Stats.Resteers)
+	}
+}
+
+func TestResteerRedirectsSpinningThread(t *testing.T) {
+	// Worker loops forever (the dangling-pointer infinite traversal of
+	// Section 4); resteer must yank it out.
+	src := `
+func main() {
+entry:
+  r = call recv(9)
+  call resteer(1)
+  a = call recv(4)
+  ret a
+}
+
+func worker() {
+entry:
+  call set_recovery(@recov)
+  call send(0, 9, 0)
+  br spin
+spin:
+  br spin
+recov:
+  call send(0, 4, 55)
+  ret
+}
+`
+	res, _ := run(t, src, 2, []ThreadSpec{{Fn: "main"}, {Fn: "worker"}})
+	if res.Returns[0][0] != 55 {
+		t.Errorf("ack = %d", res.Returns[0][0])
+	}
+}
+
+func TestResteerErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		want      string
+	}{
+		{"self", `
+func main() {
+entry:
+  call set_recovery(@r)
+  call resteer(0)
+  ret
+r:
+  ret
+}
+`, "resteer itself"},
+		{"no recovery", `
+func main() {
+entry:
+  call resteer(1)
+  ret
+}
+
+func worker() {
+entry:
+  v = call recv(1)
+  ret
+}
+`, "no recovery block"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := 1 + strings.Count(c.src, "func worker")
+			specs := []ThreadSpec{{Fn: "main"}}
+			if n > 1 {
+				specs = append(specs, ThreadSpec{Fn: "worker"})
+			}
+			_, _, err := tryRun(c.src, n, specs)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSVAIntrinsics(t *testing.T) {
+	// Write next generation, plan (via lb_plan), read back current.
+	src := `
+func main() {
+entry:
+  call sva_write(0, 0, 42)
+  call sva_write(0, 1, 43)
+  call sva_set_valid(0, 1)
+  call lb_report(10)
+  call lb_plan()
+  v = call sva_valid(0)
+  a = call sva_read(0, 0)
+  b = call sva_read(0, 1)
+  ret v, a, b
+}
+`
+	res, m := run(t, src, 2, []ThreadSpec{{Fn: "main"}})
+	got := res.Returns[0]
+	if got[0] != 1 || got[1] != 42 || got[2] != 43 {
+		t.Errorf("sva readback = %v", got)
+	}
+	if m.Stats.Invocations != 1 {
+		t.Errorf("invocations = %d", m.Stats.Invocations)
+	}
+}
+
+func TestLBIntrinsicsBootstrap(t *testing.T) {
+	src := `
+func main() {
+entry:
+  t1 = call lb_threshold()
+  i1 = call lb_index()
+  call lb_advance()
+  t2 = call lb_threshold()
+  ret t1, i1, t2
+}
+`
+	// Machine with 2 threads: 1 SVA row; bootstrap indices start at 1.
+	res, _ := run(t, src, 2, []ThreadSpec{{Fn: "main"}})
+	got := res.Returns[0]
+	if got[0] != 1 || got[2] != 2 {
+		t.Errorf("bootstrap thresholds = %v, want 1 then 2", got)
+	}
+	if got[1] != 1 {
+		t.Errorf("bootstrap index = %d, want first candidate slot (1)", got[1])
+	}
+}
+
+func TestRegionsAndHooks(t *testing.T) {
+	src := `
+func main() {
+entry:
+  call region_enter(7)
+  x = const 1
+  y = add x, 2
+  call region_exit(7)
+  call hook(1)
+  ret y
+}
+`
+	prog := irparse.MustParse(src)
+	m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+	hooked := false
+	m.Hooks[1] = func(mm *rt.Machine) { hooked = true }
+	it, _ := New(m, prog, []ThreadSpec{{Fn: "main"}}, Options{})
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !hooked {
+		t.Error("hook not invoked")
+	}
+	r := m.Regions[7]
+	if r == nil || r.Instrs < 2 || r.Cycles <= 0 {
+		t.Errorf("region = %+v", r)
+	}
+}
+
+type profRecorder struct {
+	invocations int
+	records     [][]int64
+}
+
+func (p *profRecorder) NewInvocation(loop int64) { p.invocations++ }
+func (p *profRecorder) RecordValues(loop int64, vals []int64) {
+	p.records = append(p.records, append([]int64(nil), vals...))
+}
+
+func TestProfilerHooks(t *testing.T) {
+	src := `
+func main() {
+entry:
+  call prof_invoke(1)
+  call prof_record(1, 10, 20)
+  call prof_record(1, 30, 40)
+  ret
+}
+`
+	prog := irparse.MustParse(src)
+	m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+	rec := &profRecorder{}
+	m.Prof = rec
+	it, _ := New(m, prog, []ThreadSpec{{Fn: "main"}}, Options{})
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.invocations != 1 || len(rec.records) != 2 {
+		t.Errorf("prof = %+v", rec)
+	}
+	if rec.records[0][0] != 10 || rec.records[1][1] != 40 {
+		t.Errorf("records = %v", rec.records)
+	}
+}
+
+func TestBadThreadSpecs(t *testing.T) {
+	prog := irparse.MustParse("func main() {\nentry:\n  ret\n}")
+	m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+	if _, err := New(m, prog, nil, Options{}); err == nil {
+		t.Error("no threads accepted")
+	}
+	if _, err := New(m, prog, []ThreadSpec{{Fn: "ghost"}}, Options{}); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := New(m, prog, []ThreadSpec{{Fn: "main", Args: []int64{1}}}, Options{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := New(m, prog, []ThreadSpec{{Fn: "main"}, {Fn: "main"}}, Options{}); err == nil {
+		t.Error("more threads than machine size accepted")
+	}
+}
+
+func TestUnknownIntrinsicTraps(t *testing.T) {
+	// Parser+verifier allow unknown callees; the interpreter rejects.
+	src := `
+func main() {
+entry:
+  call mystery(1)
+  ret
+}
+`
+	_, _, err := tryRun(src, 1, []ThreadSpec{{Fn: "main"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown intrinsic") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOutOfBoundsLoadTrapsNonSpeculative(t *testing.T) {
+	src := `
+func main() {
+entry:
+  big = const 1099511627776
+  v = load big, 0
+  ret v
+}
+`
+	_, _, err := tryRun(src, 1, []ThreadSpec{{Fn: "main"}})
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `
+func main() {
+entry:
+  call send(1, 1, 5)
+  a = call recv(2)
+  ret a
+}
+
+func worker() {
+entry:
+  v = call recv(1)
+  w = mul v, 7
+  call send(0, 2, w)
+  ret
+}
+`
+	var cycles []int64
+	for i := 0; i < 3; i++ {
+		res, _ := run(t, src, 2, []ThreadSpec{{Fn: "main"}, {Fn: "worker"}})
+		cycles = append(cycles, res.Cycles)
+		if res.Returns[0][0] != 35 {
+			t.Fatalf("result = %d", res.Returns[0][0])
+		}
+	}
+	if cycles[0] != cycles[1] || cycles[1] != cycles[2] {
+		t.Errorf("nondeterministic cycles: %v", cycles)
+	}
+}

@@ -1,0 +1,108 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the whole program in the textual IR syntax accepted by
+// package irparse. The output round-trips: parsing it yields an
+// equivalent program.
+func Print(p *Program) string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s %d\n", g.Name, g.Size)
+	}
+	if len(p.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		PrintFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+// PrintFunc renders one function.
+func PrintFunc(sb *strings.Builder, f *Function) {
+	names := make([]string, len(f.Params))
+	for i, r := range f.Params {
+		names[i] = f.RegName(r)
+	}
+	fmt.Fprintf(sb, "func %s(%s) {\n", f.Name, strings.Join(names, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			writeInstr(sb, f, in)
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+func writeOperand(sb *strings.Builder, f *Function, o Operand) {
+	switch o.Kind {
+	case KindReg:
+		sb.WriteString(f.RegName(o.Reg))
+	case KindImm:
+		fmt.Fprintf(sb, "%d", o.Imm)
+	case KindLabel:
+		sb.WriteByte('@')
+		sb.WriteString(o.Label)
+	}
+}
+
+func writeOperands(sb *strings.Builder, f *Function, ops []Operand) {
+	for i, o := range ops {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writeOperand(sb, f, o)
+	}
+}
+
+func writeInstr(sb *strings.Builder, f *Function, in *Instr) {
+	switch in.Op {
+	case OpConst:
+		fmt.Fprintf(sb, "%s = const %d", f.RegName(in.Dst), in.Imm)
+	case OpMove:
+		fmt.Fprintf(sb, "%s = move ", f.RegName(in.Dst))
+		writeOperand(sb, f, in.Args[0])
+	case OpLoad:
+		fmt.Fprintf(sb, "%s = load ", f.RegName(in.Dst))
+		writeOperand(sb, f, in.Args[0])
+		fmt.Fprintf(sb, ", %d", in.Args[1].Imm)
+	case OpStore:
+		sb.WriteString("store ")
+		writeOperand(sb, f, in.Args[0])
+		sb.WriteString(", ")
+		writeOperand(sb, f, in.Args[1])
+		fmt.Fprintf(sb, ", %d", in.Args[2].Imm)
+	case OpBr:
+		fmt.Fprintf(sb, "br %s", in.Then)
+	case OpCBr:
+		sb.WriteString("cbr ")
+		writeOperand(sb, f, in.Args[0])
+		fmt.Fprintf(sb, ", %s, %s", in.Then, in.Else)
+	case OpCall:
+		if in.Dst != NoReg {
+			fmt.Fprintf(sb, "%s = ", f.RegName(in.Dst))
+		}
+		fmt.Fprintf(sb, "call %s(", in.Callee)
+		writeOperands(sb, f, in.Args)
+		sb.WriteByte(')')
+	case OpRet:
+		sb.WriteString("ret")
+		if len(in.Args) > 0 {
+			sb.WriteByte(' ')
+			writeOperands(sb, f, in.Args)
+		}
+	default:
+		// Binary ops and compares share one syntactic form.
+		fmt.Fprintf(sb, "%s = %s ", f.RegName(in.Dst), in.Op)
+		writeOperands(sb, f, in.Args)
+	}
+}

@@ -1,0 +1,335 @@
+// Package irparse parses the textual IR syntax produced by ir.Print.
+//
+// The grammar is line-oriented; '#' starts a comment running to end of
+// line. A file holds global declarations followed by functions:
+//
+//	global sva 16
+//
+//	func find_min(head) {
+//	entry:
+//	  cm = move head
+//	  wm = const 9223372036854775807
+//	  br loop
+//	loop:
+//	  is_nil = cmpeq c, 0
+//	  cbr is_nil, exit, body
+//	...
+//	}
+//
+// Operands are register names, decimal immediates (optionally negative),
+// or @label references (call arguments only).
+package irparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spice/internal/ir"
+)
+
+// Error describes a parse failure with a 1-based line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	lines []string
+	pos   int // index of the *next* line to consume
+	prog  *ir.Program
+}
+
+// Parse parses a program from source text and verifies it.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{lines: strings.Split(src, "\n"), prog: ir.NewProgram()}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(p.prog); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse for tests and embedded kernels; it panics on error.
+func MustParse(src string) *ir.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next non-blank line (comments stripped) and its
+// 1-based number; ok is false at end of input.
+func (p *parser) next() (string, int, bool) {
+	for p.pos < len(p.lines) {
+		raw := p.lines[p.pos]
+		p.pos++
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		line := strings.TrimSpace(raw)
+		if line != "" {
+			return line, p.pos, true
+		}
+	}
+	return "", p.pos, false
+}
+
+func (p *parser) run() error {
+	for {
+		line, n, ok := p.next()
+		if !ok {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(line, "global "):
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return p.errf(n, "global wants: global NAME SIZE")
+			}
+			size, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return p.errf(n, "bad global size %q", fields[2])
+			}
+			for _, g := range p.prog.Globals {
+				if g.Name == fields[1] {
+					return p.errf(n, "duplicate global %q", fields[1])
+				}
+			}
+			p.prog.Globals = append(p.prog.Globals, ir.Global{Name: fields[1], Size: size})
+		case strings.HasPrefix(line, "func "):
+			if err := p.parseFunc(line, n); err != nil {
+				return err
+			}
+		default:
+			return p.errf(n, "expected 'global' or 'func', got %q", line)
+		}
+	}
+}
+
+func (p *parser) parseFunc(header string, headerLine int) error {
+	// func name(a, b) {
+	rest := strings.TrimSpace(strings.TrimPrefix(header, "func "))
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open || !strings.HasSuffix(rest, "{") {
+		return p.errf(headerLine, "func wants: func NAME(params) {")
+	}
+	name := strings.TrimSpace(rest[:open])
+	if !isIdent(name) {
+		return p.errf(headerLine, "bad function name %q", name)
+	}
+	var params []string
+	if s := strings.TrimSpace(rest[open+1 : closeIdx]); s != "" {
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if !isIdent(part) {
+				return p.errf(headerLine, "bad parameter %q", part)
+			}
+			params = append(params, part)
+		}
+	}
+	if p.prog.Func(name) != nil {
+		return p.errf(headerLine, "duplicate function %q", name)
+	}
+	f := ir.NewFunction(name, params...)
+	var cur *ir.Block
+	for {
+		line, n, ok := p.next()
+		if !ok {
+			return p.errf(n, "unexpected end of input in func %s", name)
+		}
+		if line == "}" {
+			p.prog.AddFunc(f)
+			return nil
+		}
+		if strings.HasSuffix(line, ":") && isIdent(strings.TrimSuffix(line, ":")) {
+			label := strings.TrimSuffix(line, ":")
+			if f.FindBlock(label) != nil {
+				return p.errf(n, "duplicate block %q", label)
+			}
+			cur = f.AddBlock(label)
+			continue
+		}
+		if cur == nil {
+			return p.errf(n, "instruction before first label in func %s", name)
+		}
+		in, err := p.parseInstr(f, line, n)
+		if err != nil {
+			return err
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+}
+
+// parseInstr parses one instruction line.
+func (p *parser) parseInstr(f *ir.Function, line string, n int) (*ir.Instr, error) {
+	dst := ir.NoReg
+	body := line
+	if eq := findAssign(line); eq >= 0 {
+		dstName := strings.TrimSpace(line[:eq])
+		if !isIdent(dstName) {
+			return nil, p.errf(n, "bad destination %q", dstName)
+		}
+		dst = f.Reg(dstName)
+		body = strings.TrimSpace(line[eq+1:])
+	}
+	mnemonic, rest := splitWord(body)
+	switch mnemonic {
+	case "const":
+		v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return nil, p.errf(n, "bad const %q", rest)
+		}
+		return &ir.Instr{Op: ir.OpConst, Dst: dst, Imm: v}, nil
+	case "br":
+		target := strings.TrimSpace(rest)
+		if !isIdent(target) {
+			return nil, p.errf(n, "bad br target %q", target)
+		}
+		return &ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Then: target}, nil
+	case "cbr":
+		ops := splitOperands(rest)
+		if len(ops) != 3 || !isIdent(ops[1]) || !isIdent(ops[2]) {
+			return nil, p.errf(n, "cbr wants: cbr cond, then, else")
+		}
+		cond, err := p.operand(f, ops[0], n)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Instr{Op: ir.OpCBr, Dst: ir.NoReg,
+			Args: []ir.Operand{cond}, Then: ops[1], Else: ops[2]}, nil
+	case "ret":
+		args, err := p.operands(f, rest, n)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, Args: args}, nil
+	case "call":
+		rest = strings.TrimSpace(rest)
+		open := strings.IndexByte(rest, '(')
+		if open < 0 || !strings.HasSuffix(rest, ")") {
+			return nil, p.errf(n, "call wants: call NAME(args)")
+		}
+		callee := strings.TrimSpace(rest[:open])
+		if !isIdent(callee) {
+			return nil, p.errf(n, "bad callee %q", callee)
+		}
+		args, err := p.operands(f, rest[open+1:len(rest)-1], n)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Instr{Op: ir.OpCall, Dst: dst, Callee: callee, Args: args}, nil
+	default:
+		op, ok := ir.OpByName(mnemonic)
+		if !ok {
+			return nil, p.errf(n, "unknown instruction %q", mnemonic)
+		}
+		args, err := p.operands(f, rest, n)
+		if err != nil {
+			return nil, err
+		}
+		in := &ir.Instr{Op: op, Dst: dst, Args: args}
+		switch {
+		case op == ir.OpMove && len(args) == 1,
+			(op.IsBinOp() || op.IsCmp()) && len(args) == 2,
+			op == ir.OpLoad && len(args) == 2,
+			op == ir.OpStore && len(args) == 3:
+			return in, nil
+		}
+		return nil, p.errf(n, "wrong operand count for %s", mnemonic)
+	}
+}
+
+func (p *parser) operands(f *ir.Function, s string, n int) ([]ir.Operand, error) {
+	parts := splitOperands(s)
+	out := make([]ir.Operand, 0, len(parts))
+	for _, part := range parts {
+		o, err := p.operand(f, part, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func (p *parser) operand(f *ir.Function, s string, n int) (ir.Operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return ir.Operand{}, p.errf(n, "empty operand")
+	case s[0] == '@':
+		label := s[1:]
+		if !isIdent(label) {
+			return ir.Operand{}, p.errf(n, "bad label operand %q", s)
+		}
+		return ir.Label(label), nil
+	case s[0] == '-' || (s[0] >= '0' && s[0] <= '9'):
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return ir.Operand{}, p.errf(n, "bad immediate %q", s)
+		}
+		return ir.Imm(v), nil
+	case isIdent(s):
+		return ir.R(f.Reg(s)), nil
+	default:
+		return ir.Operand{}, p.errf(n, "bad operand %q", s)
+	}
+}
+
+// findAssign locates the top-level '=' of a destination assignment,
+// distinguishing it from '=' inside nothing (the grammar has no other
+// '='). It returns -1 when the line has no assignment.
+func findAssign(line string) int {
+	i := strings.IndexByte(line, '=')
+	return i
+}
+
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], s[i+1:]
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,285 @@
+package irparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spice/internal/ir"
+)
+
+// otterSrc is the paper's Figure 1(a) loop in textual IR: walk a list of
+// clauses finding the minimum pick_weight. Node layout: word 0 = weight,
+// word 1 = next pointer.
+const otterSrc = `
+# find_lightest_cl from otter (Figure 1a)
+func find_min(head, wm0) {
+entry:
+  wm = move wm0
+  cm = const 0
+  c = move head
+  br loop
+loop:
+  is_nil = cmpeq c, 0
+  cbr is_nil, exit, body
+body:
+  w = load c, 0
+  lt = cmplt w, wm
+  cbr lt, update, next
+update:
+  wm = move w
+  cm = move c
+  br next
+next:
+  c = load c, 1
+  br loop
+exit:
+  ret wm, cm
+}
+`
+
+func TestParseOtterLoop(t *testing.T) {
+	p, err := Parse(otterSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := p.Func("find_min")
+	if f == nil {
+		t.Fatal("find_min missing")
+	}
+	if len(f.Params) != 2 {
+		t.Errorf("params = %d, want 2", len(f.Params))
+	}
+	if len(f.Blocks) != 6 {
+		t.Errorf("blocks = %d, want 6", len(f.Blocks))
+	}
+	loop := f.FindBlock("loop")
+	if loop == nil || loop.Terminator().Op != ir.OpCBr {
+		t.Error("loop block malformed")
+	}
+	body := f.FindBlock("body")
+	if body.Instrs[0].Op != ir.OpLoad {
+		t.Errorf("body[0] = %v", body.Instrs[0].Op)
+	}
+}
+
+func TestParseGlobalsAndCalls(t *testing.T) {
+	src := `
+global sva 16
+global work 4
+
+func main() {
+entry:
+  t = call tid()
+  call send(1, 7, t)
+  v = call recv(7)
+  call set_recovery(@recover)
+  call halt()
+  ret
+recover:
+  call spec_discard()
+  ret
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Globals) != 2 || p.Globals[0].Name != "sva" || p.Globals[1].Size != 4 {
+		t.Errorf("globals = %+v", p.Globals)
+	}
+	f := p.Func("main")
+	var foundLabel bool
+	for _, in := range f.Entry().Instrs {
+		if in.Op == ir.OpCall && in.Callee == "set_recovery" {
+			if len(in.Args) == 1 && in.Args[0].Kind == ir.KindLabel && in.Args[0].Label == "recover" {
+				foundLabel = true
+			}
+		}
+	}
+	if !foundLabel {
+		t.Error("label operand @recover not parsed")
+	}
+}
+
+func TestParseNegativeImmediates(t *testing.T) {
+	src := `
+func f() {
+entry:
+  x = const -9223372036854775808
+  y = add x, -1
+  ret y
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	e := p.Func("f").Entry()
+	if e.Instrs[0].Imm != -9223372036854775808 {
+		t.Errorf("min const = %d", e.Instrs[0].Imm)
+	}
+	if e.Instrs[1].Args[1].Imm != -1 {
+		t.Errorf("imm = %d", e.Instrs[1].Args[1].Imm)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"junk top level", "wat", "expected 'global' or 'func'"},
+		{"bad global", "global g", "global wants"},
+		{"bad global size", "global g x", "bad global size"},
+		{"dup global", "global g 1\nglobal g 2", "duplicate global"},
+		{"bad func header", "func f {", "func wants"},
+		{"bad param", "func f(1x) {\nentry:\n  ret\n}", "bad parameter"},
+		{"instr before label", "func f() {\n  ret\n}", "before first label"},
+		{"unknown mnemonic", "func f() {\nentry:\n  x = frob y\n}", "unknown instruction"},
+		{"bad const", "func f() {\nentry:\n  x = const zz\n}", "bad const"},
+		{"bad operand count", "func f() {\nentry:\n  x = add y\n}", "wrong operand count"},
+		{"bad cbr", "func f() {\nentry:\n  cbr x\n}", "cbr wants"},
+		{"unterminated func", "func f() {\nentry:\n  ret", "unexpected end"},
+		{"dup block", "func f() {\nentry:\n  ret\nentry:\n  ret\n}", "duplicate block"},
+		{"dup func", "func f() {\nentry:\n  ret\n}\nfunc f() {\nentry:\n  ret\n}", "duplicate function"},
+		{"bad call", "func f() {\nentry:\n  call noparen\n}", "call wants"},
+		{"bad label operand", "func f() {\nentry:\n  call set_recovery(@9x)\n}", "bad label"},
+		{"verify failure surfaces", "func f() {\nentry:\n  br nowhere\n}", "does not exist"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := Parse("\n\nglobal g\n")
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("nonsense")
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "  # leading comment\n\nfunc f() { # trailing\nentry: # label comment\n  x = const 1 # instr comment\n  ret x\n}\n#tail"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Func("f") == nil {
+		t.Fatal("func missing")
+	}
+}
+
+// TestPrintParseRoundTrip checks that printing and reparsing an arbitrary
+// generated program yields an identical printout (print∘parse∘print =
+// print).
+func TestPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := genProgram(rand.New(rand.NewSource(seed)))
+		text1 := ir.Print(prog)
+		prog2, err := Parse(text1)
+		if err != nil {
+			t.Logf("reparse failed for seed %d: %v\n%s", seed, err, text1)
+			return false
+		}
+		text2 := ir.Print(prog2)
+		if text1 != text2 {
+			t.Logf("round-trip mismatch for seed %d:\n--- first ---\n%s\n--- second ---\n%s", seed, text1, text2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genProgram builds a random structurally-valid program: a chain of
+// blocks with random straight-line instructions, random forward branches
+// and a final ret.
+func genProgram(rng *rand.Rand) *ir.Program {
+	p := ir.NewProgram()
+	if rng.Intn(2) == 0 {
+		p.AddGlobal("g0", int64(1+rng.Intn(64)))
+	}
+	b := ir.NewBuilder("f0", "p0", "p1")
+	nBlocks := 2 + rng.Intn(5)
+	names := make([]string, nBlocks)
+	for i := range names {
+		if i == 0 {
+			names[i] = "entry"
+		} else {
+			names[i] = "b" + string(rune('a'+i))
+		}
+	}
+	regs := []string{"p0", "p1"}
+	for bi := 0; bi < nBlocks; bi++ {
+		b.Block(names[bi])
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			dst := "r" + string(rune('a'+rng.Intn(6)))
+			defines := true
+			switch rng.Intn(6) {
+			case 0:
+				b.Const(dst, rng.Int63n(1000)-500)
+			case 1:
+				b.Move(dst, regs[rng.Intn(len(regs))])
+			case 2:
+				ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr,
+					ir.OpXor, ir.OpCmpEQ, ir.OpCmpLT, ir.OpCmpGE}
+				b.Bin(ops[rng.Intn(len(ops))], dst,
+					regs[rng.Intn(len(regs))], int64(rng.Intn(100)))
+			case 3:
+				b.Load(dst, regs[rng.Intn(len(regs))], int64(rng.Intn(4)))
+			case 4:
+				b.Store(regs[rng.Intn(len(regs))], regs[rng.Intn(len(regs))],
+					int64(rng.Intn(4)))
+				defines = false
+			case 5:
+				b.Call(dst, "recv", int64(rng.Intn(8)))
+			}
+			if defines && rng.Intn(2) == 0 {
+				regs = append(regs, dst)
+			}
+		}
+		// Terminator: last block rets; others branch forward.
+		if bi == nBlocks-1 {
+			if rng.Intn(2) == 0 {
+				b.Ret()
+			} else {
+				b.Ret(regs[rng.Intn(len(regs))])
+			}
+		} else {
+			next := names[bi+1]
+			other := names[bi+1+rng.Intn(nBlocks-bi-1)]
+			if rng.Intn(2) == 0 {
+				b.Br(next)
+			} else {
+				b.CBr(regs[rng.Intn(len(regs))], next, other)
+			}
+		}
+	}
+	p.AddFunc(b.F)
+	return p
+}

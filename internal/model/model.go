@@ -1,0 +1,225 @@
+// Package model implements the analytic execution model of Section 2 of
+// the paper: idealized schedules for TLS without value speculation
+// (Figure 2), TLS with per-iteration value prediction (Figure 3) and
+// Spice's chunked execution (Figure 5), plus the closed-form speedups
+// derived in the text.
+//
+// The model splits every loop iteration into a traversal part (latency
+// t1, the serialized pointer chase), a work part (latency t2, the
+// parallelizable computation) and an inter-core communication latency
+// (t3) charged when a value produced on one core is consumed on another.
+package model
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Machine carries the three latencies of the Section 2 model.
+type Machine struct {
+	T1 float64 // per-iteration traversal latency
+	T2 float64 // per-iteration work latency
+	T3 float64 // inter-core value-forwarding latency
+}
+
+// TLSSpeedup is the paper's two-core TLS bound: when the work dominates
+// (t2 > t1 + 2·t3) the loop reaches the ideal 2×; otherwise the
+// serialized traversal chain plus forwarding caps it at
+// (t1+t2)/(t1+t3), always below 2.
+func (m Machine) TLSSpeedup() float64 {
+	if m.T2 > m.T1+2*m.T3 {
+		return 2
+	}
+	return (m.T1 + m.T2) / (m.T1 + m.T3)
+}
+
+// TLSVPSpeedup is the expected two-core speedup of TLS with
+// per-iteration value prediction at accuracy p: 2/(2−p).
+func TLSVPSpeedup(p float64) float64 {
+	checkP(p)
+	return 2 / (2 - p)
+}
+
+// SpiceSpeedup generalizes the paper's 2/(2−p) to t threads under the
+// chunk model: each of the t−1 predicted chunk boundaries independently
+// validates with probability p; if the first k predictions hold, the
+// critical path is the (t−k)/t tail executed by the last valid thread.
+// For t=2 this reduces to exactly 2/(2−p).
+func SpiceSpeedup(p float64, threads int) float64 {
+	checkP(p)
+	if threads < 1 {
+		panic("model: need at least one thread")
+	}
+	if threads == 1 {
+		return 1
+	}
+	t := float64(threads)
+	expFrac := 0.0
+	for k := 0; k < threads; k++ {
+		var prob float64
+		if k < threads-1 {
+			prob = (1 - p) * math.Pow(p, float64(k))
+		} else {
+			prob = math.Pow(p, float64(threads-1))
+		}
+		expFrac += prob * (t - float64(k)) / t
+	}
+	return 1 / expFrac
+}
+
+func checkP(p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("model: probability %g out of range", p))
+	}
+}
+
+// SegKind labels a schedule segment.
+type SegKind int
+
+// Segment kinds: the traversal chain (solid lines in the paper's
+// figures), the per-iteration work (dotted), inter-core forwarding
+// (dashed), and squashed (mis-speculated, re-executed) work.
+const (
+	Traversal SegKind = iota
+	Work
+	Comm
+	Squashed
+)
+
+var segGlyph = map[SegKind]byte{Traversal: 'T', Work: 'W', Comm: '-', Squashed: 'x'}
+
+// Seg is one scheduled interval on a core.
+type Seg struct {
+	Core  int
+	Start float64
+	End   float64
+	Iter  int
+	Kind  SegKind
+}
+
+// TLSSchedule builds the Figure 2 schedule: iterations alternate between
+// two cores; each iteration's traversal starts when the previous
+// traversal ends plus the forwarding latency to the other core; work
+// overlaps with later traversals.
+func TLSSchedule(n int, m Machine) []Seg {
+	var segs []Seg
+	travEnd := 0.0
+	workEnd := [2]float64{}
+	for i := 0; i < n; i++ {
+		core := i % 2
+		start := travEnd
+		if i > 0 {
+			start += m.T3 // forward the live-in to the other core
+			segs = append(segs, Seg{Core: core, Start: travEnd, End: start, Iter: i, Kind: Comm})
+		}
+		segs = append(segs, Seg{Core: core, Start: start, End: start + m.T1, Iter: i, Kind: Traversal})
+		travEnd = start + m.T1
+		ws := math.Max(travEnd, workEnd[core])
+		segs = append(segs, Seg{Core: core, Start: ws, End: ws + m.T2, Iter: i, Kind: Work})
+		workEnd[core] = ws + m.T2
+	}
+	return segs
+}
+
+// TLSVPSchedule builds the Figure 3 schedule: value prediction breaks
+// the forwarding chain, so the two cores run odd/even iterations
+// independently; iterations listed in mispredicted re-execute serially
+// after the correct value is produced.
+func TLSVPSchedule(n int, mispredicted []int, m Machine) []Seg {
+	bad := map[int]bool{}
+	for _, i := range mispredicted {
+		bad[i] = true
+	}
+	var segs []Seg
+	coreEnd := [2]float64{}
+	prevIterEnd := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		core := i % 2
+		start := coreEnd[core]
+		dur := m.T1 + m.T2
+		if bad[i] {
+			// First (mis-speculated) execution is wasted...
+			segs = append(segs, Seg{Core: core, Start: start, End: start + dur, Iter: i, Kind: Squashed})
+			// ...and the iteration re-executes once its true live-in is
+			// available from iteration i-1.
+			restart := math.Max(start+dur, prevIterEnd[i]+m.T3)
+			segs = append(segs, Seg{Core: core, Start: restart, End: restart + dur, Iter: i, Kind: Work})
+			coreEnd[core] = restart + dur
+		} else {
+			segs = append(segs, Seg{Core: core, Start: start, End: start + m.T1, Iter: i, Kind: Traversal})
+			segs = append(segs, Seg{Core: core, Start: start + m.T1, End: start + dur, Iter: i, Kind: Work})
+			coreEnd[core] = start + dur
+		}
+		prevIterEnd[i+1] = coreEnd[core]
+	}
+	return segs
+}
+
+// SpiceSchedule builds the Figure 5 schedule: the iteration space splits
+// into one chunk per core, all started concurrently from predicted
+// live-ins; each chunk runs its iterations serially.
+func SpiceSchedule(n, threads int, m Machine) []Seg {
+	var segs []Seg
+	per := n / threads
+	extra := n % threads
+	iter := 0
+	for c := 0; c < threads; c++ {
+		count := per
+		if c < extra {
+			count++
+		}
+		clock := 0.0
+		for k := 0; k < count; k++ {
+			segs = append(segs, Seg{Core: c, Start: clock, End: clock + m.T1, Iter: iter, Kind: Traversal})
+			segs = append(segs, Seg{Core: c, Start: clock + m.T1, End: clock + m.T1 + m.T2, Iter: iter, Kind: Work})
+			clock += m.T1 + m.T2
+			iter++
+		}
+	}
+	return segs
+}
+
+// Makespan returns the completion time of a schedule.
+func Makespan(segs []Seg) float64 {
+	end := 0.0
+	for _, s := range segs {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// SequentialTime is the single-core baseline for n iterations.
+func (m Machine) SequentialTime(n int) float64 { return float64(n) * (m.T1 + m.T2) }
+
+// Render draws an ASCII timeline, one row per core, at the given number
+// of characters per time unit (cells overlapping multiple segments show
+// the later segment).
+func Render(segs []Seg, cores int, scale float64) string {
+	span := Makespan(segs)
+	width := int(span*scale) + 1
+	if width > 4096 {
+		width = 4096
+	}
+	rows := make([][]byte, cores)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range segs {
+		if s.Core < 0 || s.Core >= cores {
+			continue
+		}
+		from := int(s.Start * scale)
+		to := int(s.End * scale)
+		for x := from; x < to && x < width; x++ {
+			rows[s.Core][x] = segGlyph[s.Kind]
+		}
+	}
+	var sb strings.Builder
+	for i, r := range rows {
+		fmt.Fprintf(&sb, "P%d |%s\n", i+1, string(r))
+	}
+	return sb.String()
+}

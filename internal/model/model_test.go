@@ -1,0 +1,159 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTLSSpeedupFormulas(t *testing.T) {
+	// Communication-bound: (t1+t2)/(t1+t3).
+	m := Machine{T1: 3, T2: 2, T3: 4}
+	if got, want := m.TLSSpeedup(), 5.0/7.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("TLS speedup = %f, want %f", got, want)
+	}
+	// Work-dominated (t2 > t1 + 2*t3): ideal 2x.
+	m2 := Machine{T1: 3, T2: 12, T3: 4}
+	if m2.TLSSpeedup() != 2 {
+		t.Errorf("work-dominated TLS = %f", m2.TLSSpeedup())
+	}
+}
+
+func TestTLSVPFormula(t *testing.T) {
+	cases := map[float64]float64{0: 1, 0.5: 4.0 / 3, 1: 2}
+	for p, want := range cases {
+		if got := TLSVPSpeedup(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("TLSVP(%.1f) = %f, want %f", p, got, want)
+		}
+	}
+}
+
+func TestSpiceSpeedupReducesToPaperFormula(t *testing.T) {
+	// For two threads the chunk model must equal 2/(2-p) exactly.
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+		got := SpiceSpeedup(p, 2)
+		want := 2 / (2 - p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Spice(p=%.2f, t=2) = %f, want 2/(2-p) = %f", p, got, want)
+		}
+	}
+}
+
+func TestSpiceSpeedupProperties(t *testing.T) {
+	if SpiceSpeedup(1, 4) != 4 {
+		t.Errorf("perfect prediction at 4 threads = %f, want 4", SpiceSpeedup(1, 4))
+	}
+	if SpiceSpeedup(0, 4) != 1 {
+		t.Errorf("no prediction = %f, want 1", SpiceSpeedup(0, 4))
+	}
+	if SpiceSpeedup(0.5, 1) != 1 {
+		t.Error("single thread must be 1x")
+	}
+	// Monotone in p.
+	f := func(a, b float64) bool {
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return SpiceSpeedup(pa, 4) <= SpiceSpeedup(pb, 4)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormulaPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { TLSVPSpeedup(-0.1) },
+		func() { TLSVPSpeedup(1.1) },
+		func() { SpiceSpeedup(0.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTLSScheduleShape(t *testing.T) {
+	m := Machine{T1: 3, T2: 2, T3: 4}
+	segs := TLSSchedule(8, m)
+	// Iterations alternate cores; traversal chain is serialized with
+	// forwarding between consecutive iterations.
+	var travEnd float64
+	for _, s := range segs {
+		if s.Kind == Traversal {
+			if s.Core != s.Iter%2 {
+				t.Errorf("iter %d on core %d", s.Iter, s.Core)
+			}
+			if s.Start < travEnd-1e-9 && s.Iter > 0 {
+				t.Errorf("traversal %d overlaps previous", s.Iter)
+			}
+			travEnd = s.End
+		}
+	}
+	// Makespan matches the analytic bound for large n.
+	big := TLSSchedule(200, m)
+	got := m.SequentialTime(200) / Makespan(big)
+	if math.Abs(got-m.TLSSpeedup()) > 0.05 {
+		t.Errorf("schedule speedup %f vs formula %f", got, m.TLSSpeedup())
+	}
+}
+
+func TestTLSVPScheduleMisprediction(t *testing.T) {
+	m := Machine{T1: 3, T2: 2, T3: 4}
+	clean := Makespan(TLSVPSchedule(8, nil, m))
+	dirty := Makespan(TLSVPSchedule(8, []int{3}, m))
+	if dirty <= clean {
+		t.Errorf("misprediction did not lengthen the schedule: %f vs %f", dirty, clean)
+	}
+	// Perfect prediction reaches the 2x bound for even n.
+	if math.Abs(m.SequentialTime(8)/clean-2.0) > 1e-9 {
+		t.Errorf("clean VP speedup = %f, want 2", m.SequentialTime(8)/clean)
+	}
+	// A squashed segment appears.
+	found := false
+	for _, s := range TLSVPSchedule(8, []int{3}, m) {
+		if s.Kind == Squashed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no squashed segment rendered")
+	}
+}
+
+func TestSpiceScheduleShape(t *testing.T) {
+	m := Machine{T1: 3, T2: 2, T3: 4}
+	segs := SpiceSchedule(8, 2, m)
+	if got := m.SequentialTime(8) / Makespan(segs); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Spice schedule speedup = %f, want exactly 2", got)
+	}
+	// Uneven split: 7 iterations over 2 cores -> 4+3.
+	segs = SpiceSchedule(7, 2, m)
+	count := map[int]int{}
+	for _, s := range segs {
+		if s.Kind == Work {
+			count[s.Core]++
+		}
+	}
+	if count[0] != 4 || count[1] != 3 {
+		t.Errorf("chunk split = %v", count)
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := Machine{T1: 2, T2: 1, T3: 1}
+	out := Render(SpiceSchedule(4, 2, m), 2, 1)
+	if !strings.Contains(out, "P1 |") || !strings.Contains(out, "P2 |") {
+		t.Errorf("render missing core rows:\n%s", out)
+	}
+	if !strings.Contains(out, "T") || !strings.Contains(out, "W") {
+		t.Errorf("render missing segment glyphs:\n%s", out)
+	}
+}

@@ -1,0 +1,286 @@
+// Package profiler implements the value-profiling framework of
+// Section 6 of the paper: an instrumenter that annotates candidate loops
+// with live-in recording calls, and an analyzer that measures the
+// cross-invocation predictability of loop live-in values.
+//
+// The instrumenter inserts a prof_invoke(loop) call in each loop's
+// preheader (the paper's new_invocation) and a prof_record(loop,
+// live-ins...) call before the backward branch of every latch (the
+// paper's record_values at the end of each iteration). The analyzer —
+// attached to the runtime machine as its ProfSink — hashes each
+// iteration's live-in tuple into a signature, collects the per-invocation
+// signature set, and in the following invocation counts the fraction f of
+// iterations whose signature appeared in the previous invocation's set.
+// An invocation is predictable when f exceeds the threshold (0.5 in the
+// paper). Loops are then binned by the percentage of predictable
+// invocations: low (1-25%), average (26-50%), good (51-75%) and high
+// (76-100%).
+package profiler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"spice/internal/cfg"
+	"spice/internal/dataflow"
+	"spice/internal/ir"
+	"spice/internal/loopinfo"
+	"spice/internal/reduction"
+)
+
+// LoopTarget describes one instrumented loop.
+type LoopTarget struct {
+	ID     int64
+	Fn     string
+	Header string
+	// LiveIns are the recorded registers: carried live-ins minus
+	// reduction candidates (Section 6.1 "Reductions").
+	LiveIns []ir.Reg
+}
+
+// SelectLoops returns the loops in fn that are candidates for value
+// profiling: natural loops with a unique preheader whose carried live-in
+// set is non-empty after reduction removal (DOALL-able loops are not
+// candidates, mirroring the instrumenter's trimming).
+func SelectLoops(prog *ir.Program, fnName string) ([]LoopTarget, error) {
+	fn := prog.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("profiler: no function %q", fnName)
+	}
+	g, err := cfg.New(fn)
+	if err != nil {
+		return nil, err
+	}
+	loops := cfg.FindLoops(g)
+	lv := dataflow.ComputeLiveness(g)
+	var out []LoopTarget
+	// Deterministic order: by header block index.
+	sorted := append([]*cfg.Loop(nil), loops.All...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Header < sorted[j].Header })
+	for _, loop := range sorted {
+		info := loopinfo.Analyze(g, lv, loop)
+		if info.Preheader == -1 {
+			continue
+		}
+		reds := reduction.Find(g, info)
+		inRed := map[ir.Reg]bool{}
+		for _, grp := range reds {
+			for _, r := range grp.Regs() {
+				inRed[r] = true
+			}
+		}
+		var lis []ir.Reg
+		for _, r := range info.Carried {
+			if !inRed[r] {
+				lis = append(lis, r)
+			}
+		}
+		if len(lis) == 0 {
+			continue
+		}
+		sort.Slice(lis, func(i, j int) bool { return lis[i] < lis[j] })
+		out = append(out, LoopTarget{
+			Fn:      fnName,
+			Header:  g.Blocks[loop.Header].Name,
+			LiveIns: lis,
+		})
+	}
+	return out, nil
+}
+
+// Instrument inserts profiling calls for the given targets, assigning
+// ids 1..n in order. The program is modified in place.
+func Instrument(prog *ir.Program, targets []LoopTarget) error {
+	for i := range targets {
+		targets[i].ID = int64(i + 1)
+		if err := instrumentLoop(prog, &targets[i]); err != nil {
+			return err
+		}
+	}
+	return ir.Verify(prog)
+}
+
+func instrumentLoop(prog *ir.Program, t *LoopTarget) error {
+	fn := prog.Func(t.Fn)
+	if fn == nil {
+		return fmt.Errorf("profiler: no function %q", t.Fn)
+	}
+	g, err := cfg.New(fn)
+	if err != nil {
+		return err
+	}
+	loops := cfg.FindLoops(g)
+	hi, ok := g.Index[t.Header]
+	if !ok {
+		return fmt.Errorf("profiler: no block %q", t.Header)
+	}
+	loop := loops.ByHeader[hi]
+	if loop == nil {
+		return fmt.Errorf("profiler: %q is not a loop header", t.Header)
+	}
+	lv := dataflow.ComputeLiveness(g)
+	info := loopinfo.Analyze(g, lv, loop)
+	if info.Preheader == -1 {
+		return fmt.Errorf("profiler: loop %q lacks a preheader", t.Header)
+	}
+
+	// prof_invoke in the preheader, before its terminator.
+	pre := g.Blocks[info.Preheader]
+	inv := &ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: "prof_invoke",
+		Args: []ir.Operand{ir.Imm(t.ID)}}
+	pre.Instrs = append(pre.Instrs[:len(pre.Instrs)-1],
+		inv, pre.Instrs[len(pre.Instrs)-1])
+
+	// prof_record before the backward branch of every latch.
+	args := []ir.Operand{ir.Imm(t.ID)}
+	for _, r := range t.LiveIns {
+		args = append(args, ir.R(r))
+	}
+	for _, latch := range loop.Latches {
+		blk := g.Blocks[latch]
+		rec := &ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: "prof_record",
+			Args: append([]ir.Operand(nil), args...)}
+		blk.Instrs = append(blk.Instrs[:len(blk.Instrs)-1],
+			rec, blk.Instrs[len(blk.Instrs)-1])
+	}
+	return nil
+}
+
+// LoopReport summarizes one loop's predictability.
+type LoopReport struct {
+	Loop        int64
+	Invocations int64
+	Predictable int64
+	// PredictablePct is 100·Predictable/Invocations (0 when the loop
+	// never ran).
+	PredictablePct float64
+	Iterations     int64
+}
+
+// Analyzer implements rt.ProfSink: it consumes invocation boundaries and
+// per-iteration live-in tuples and classifies invocations as predictable
+// when more than Threshold of their iterations' signatures appeared in
+// the previous invocation.
+type Analyzer struct {
+	// Threshold is the paper's t (default 0.5).
+	Threshold float64
+	// SampleProb is the paper's P(L): each invocation is profiled with
+	// this probability (default 1.0). Sampling is deterministic per
+	// analyzer via the seed.
+	SampleProb float64
+
+	rng   *rand.Rand
+	loops map[int64]*loopState
+}
+
+type loopState struct {
+	prev        map[uint64]bool
+	cur         map[uint64]bool
+	iters       int64
+	hits        int64
+	started     bool
+	sampled     bool
+	invocations int64
+	predictable int64
+	totalIters  int64
+}
+
+// NewAnalyzer creates an analyzer with the paper's defaults.
+func NewAnalyzer(seed int64) *Analyzer {
+	return &Analyzer{
+		Threshold:  0.5,
+		SampleProb: 1.0,
+		rng:        rand.New(rand.NewSource(seed)),
+		loops:      make(map[int64]*loopState),
+	}
+}
+
+func (a *Analyzer) state(loop int64) *loopState {
+	s := a.loops[loop]
+	if s == nil {
+		s = &loopState{prev: map[uint64]bool{}, cur: map[uint64]bool{}}
+		a.loops[loop] = s
+	}
+	return s
+}
+
+// NewInvocation finalizes the previous invocation of the loop and starts
+// a new one.
+func (a *Analyzer) NewInvocation(loop int64) {
+	s := a.state(loop)
+	a.finalize(s)
+	s.started = true
+	s.sampled = a.SampleProb >= 1 || a.rng.Float64() < a.SampleProb
+}
+
+// RecordValues hashes one iteration's live-in tuple.
+func (a *Analyzer) RecordValues(loop int64, vals []int64) {
+	s := a.state(loop)
+	if !s.started || !s.sampled {
+		return
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	sig := h.Sum64()
+	s.iters++
+	s.totalIters++
+	if s.prev[sig] {
+		s.hits++
+	}
+	s.cur[sig] = true
+}
+
+func (a *Analyzer) finalize(s *loopState) {
+	if !s.started {
+		return
+	}
+	if s.sampled {
+		s.invocations++
+		if s.iters > 0 && float64(s.hits) > a.Threshold*float64(s.iters) {
+			s.predictable++
+		}
+		s.prev, s.cur = s.cur, map[uint64]bool{}
+	}
+	s.iters, s.hits = 0, 0
+	s.started = false
+}
+
+// Finish flushes any in-progress invocations (the paper's exit_program
+// hook).
+func (a *Analyzer) Finish() {
+	for _, s := range a.loops {
+		a.finalize(s)
+	}
+}
+
+// Reports returns per-loop summaries ordered by loop id.
+func (a *Analyzer) Reports() []LoopReport {
+	ids := make([]int64, 0, len(a.loops))
+	for id := range a.loops {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]LoopReport, 0, len(ids))
+	for _, id := range ids {
+		s := a.loops[id]
+		r := LoopReport{
+			Loop:        id,
+			Invocations: s.invocations,
+			Predictable: s.predictable,
+			Iterations:  s.totalIters,
+		}
+		if s.invocations > 0 {
+			r.PredictablePct = 100 * float64(s.predictable) / float64(s.invocations)
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package profiler
+
+import (
+	"testing"
+
+	"spice/internal/interp"
+	"spice/internal/ir"
+	"spice/internal/irparse"
+	"spice/internal/rt"
+	"spice/internal/sim"
+)
+
+const twoLoopSrc = `
+func main(head, n) {
+entry:
+  i = const 0
+  s = const 0
+  br opre
+opre:
+  br outer
+outer:
+  oc = cmplt i, n
+  cbr oc, lpre, done
+lpre:
+  c = load head, 0
+  br walk
+walk:
+  z = cmpeq c, 0
+  cbr z, wdone, wbody
+wbody:
+  w = load c, 0
+  s = add s, w
+  c = load c, 1
+  br walk
+wdone:
+  i = add i, 1
+  br outer
+done:
+  ret s
+}
+`
+
+func TestSelectLoops(t *testing.T) {
+	prog := irparse.MustParse(twoLoopSrc)
+	targets, err := SelectLoops(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the outer driver loop (carried: i) and the traversal loop
+	// (carried: c) qualify; s is a sum reduction and is excluded.
+	headers := map[string]bool{}
+	for _, tg := range targets {
+		headers[tg.Header] = true
+		for _, r := range tg.LiveIns {
+			if prog.Func("main").RegName(r) == "s" {
+				t.Error("reduction register s selected as live-in")
+			}
+		}
+	}
+	if !headers["walk"] || !headers["outer"] {
+		t.Errorf("selected headers = %v", headers)
+	}
+	if _, err := SelectLoops(prog, "ghost"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestInstrumentInsertsCalls(t *testing.T) {
+	prog := irparse.MustParse(twoLoopSrc)
+	targets, _ := SelectLoops(prog, "main")
+	var walk []LoopTarget
+	for _, tg := range targets {
+		if tg.Header == "walk" {
+			walk = append(walk, tg)
+		}
+	}
+	if err := Instrument(prog, walk); err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	countCalls := func(name string) int {
+		n := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee == name {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countCalls("prof_invoke") != 1 {
+		t.Errorf("prof_invoke count = %d", countCalls("prof_invoke"))
+	}
+	if countCalls("prof_record") != 1 {
+		t.Errorf("prof_record count = %d", countCalls("prof_record"))
+	}
+}
+
+// runProfiled executes the two-loop program over a list, churning
+// membership by `replaced` nodes per invocation, and returns the walk
+// loop's predictability percentage.
+func runProfiled(t *testing.T, replaced int) float64 {
+	t.Helper()
+	prog := irparse.MustParse(twoLoopSrc)
+	targets, _ := SelectLoops(prog, "main")
+	var walk []LoopTarget
+	for _, tg := range targets {
+		if tg.Header == "walk" {
+			walk = append(walk, tg)
+		}
+	}
+	if err := Instrument(prog, walk); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+	an := NewAnalyzer(3)
+	m.Prof = an
+
+	const n = 40
+	head := m.Mem.Alloc(1)
+	pool := m.Mem.Alloc(2 * n * 2) // active + reserve
+	active := make([]int64, n)
+	reserve := make([]int64, n)
+	for i := 0; i < n; i++ {
+		active[i] = pool + int64(i)*2
+		reserve[i] = pool + int64(n+i)*2
+		m.Mem.MustStore(active[i], int64(i))
+		m.Mem.MustStore(reserve[i], int64(100+i))
+	}
+	link := func() {
+		m.Mem.MustStore(head, active[0])
+		for i := range active {
+			next := int64(0)
+			if i+1 < len(active) {
+				next = active[i+1]
+			}
+			m.Mem.MustStore(active[i]+1, next)
+		}
+	}
+	link()
+	inv := 0
+	m.Hooks[1] = func(*rt.Machine) {
+		for k := 0; k < replaced; k++ {
+			idx := (inv*7 + k) % n
+			active[idx], reserve[idx] = reserve[idx], active[idx]
+		}
+		link()
+		inv++
+	}
+	// Add the mutation hook call into the program's outer loop body.
+	f := prog.Func("main")
+	lpre := f.FindBlock("lpre")
+	hook := &ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: "hook",
+		Args: []ir.Operand{ir.Imm(1)}}
+	lpre.Instrs = append([]*ir.Instr{hook}, lpre.Instrs...)
+
+	it, err := interp.New(m, prog, []interp.ThreadSpec{
+		{Fn: "main", Args: []int64{head, 20}}}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	an.Finish()
+	reports := an.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	return reports[0].PredictablePct
+}
+
+func TestPredictabilityStableVsChurned(t *testing.T) {
+	stable := runProfiled(t, 0)
+	churned := runProfiled(t, 30) // 75% membership replaced per invocation
+	if stable < 90 {
+		t.Errorf("stable list predictability = %.0f%%, want ≥90%%", stable)
+	}
+	if churned > 20 {
+		t.Errorf("churned list predictability = %.0f%%, want ≤20%%", churned)
+	}
+}
+
+func TestAnalyzerThresholdSemantics(t *testing.T) {
+	an := NewAnalyzer(1)
+	// Invocation 1: signatures {1,2,3,4}.
+	an.NewInvocation(7)
+	for _, v := range []int64{1, 2, 3, 4} {
+		an.RecordValues(7, []int64{v})
+	}
+	// Invocation 2: 3 of 4 repeat -> f = 0.75 > 0.5 -> predictable.
+	an.NewInvocation(7)
+	for _, v := range []int64{1, 2, 3, 99} {
+		an.RecordValues(7, []int64{v})
+	}
+	// Invocation 3: 1 of 4 repeats -> f = 0.25 -> not predictable.
+	an.NewInvocation(7)
+	for _, v := range []int64{1, 50, 51, 52} {
+		an.RecordValues(7, []int64{v})
+	}
+	an.Finish()
+	r := an.Reports()[0]
+	if r.Invocations != 3 {
+		t.Errorf("invocations = %d", r.Invocations)
+	}
+	// Invocation 1 has an empty previous set: unpredictable.
+	if r.Predictable != 1 {
+		t.Errorf("predictable = %d, want 1 (only invocation 2)", r.Predictable)
+	}
+	if r.Iterations != 12 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+}
+
+func TestAnalyzerMultiValueTuples(t *testing.T) {
+	an := NewAnalyzer(1)
+	an.NewInvocation(1)
+	an.RecordValues(1, []int64{1, 2})
+	an.NewInvocation(1)
+	// Same values in different positions: different signature.
+	an.RecordValues(1, []int64{2, 1})
+	an.Finish()
+	r := an.Reports()[0]
+	if r.Predictable != 0 {
+		t.Error("tuple order must matter in signatures")
+	}
+}
+
+func TestAnalyzerSampling(t *testing.T) {
+	an := NewAnalyzer(42)
+	an.SampleProb = 0.0 // never sample
+	for i := 0; i < 5; i++ {
+		an.NewInvocation(1)
+		an.RecordValues(1, []int64{int64(i)})
+	}
+	an.Finish()
+	if len(an.Reports()) != 1 || an.Reports()[0].Invocations != 0 {
+		t.Errorf("unsampled invocations recorded: %+v", an.Reports())
+	}
+}
+
+func TestInstrumentErrors(t *testing.T) {
+	prog := irparse.MustParse(twoLoopSrc)
+	if err := Instrument(prog, []LoopTarget{{Fn: "ghost", Header: "walk"}}); err == nil {
+		t.Error("unknown function accepted")
+	}
+	prog2 := irparse.MustParse(twoLoopSrc)
+	if err := Instrument(prog2, []LoopTarget{{Fn: "main", Header: "entry"}}); err == nil {
+		t.Error("non-loop header accepted")
+	}
+}

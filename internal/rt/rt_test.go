@@ -1,0 +1,491 @@
+package rt
+
+import (
+	"testing"
+
+	"spice/internal/sim"
+)
+
+func mustMachine(t *testing.T, threads, width int) *Machine {
+	t.Helper()
+	m, err := New(sim.DefaultConfig(), threads, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(sim.DefaultConfig(), 0, 1); err == nil {
+		t.Error("zero threads accepted")
+	}
+	bad := sim.DefaultConfig()
+	bad.Cores = 0
+	if _, err := New(bad, 2, 1); err == nil {
+		t.Error("bad sim config accepted")
+	}
+	m := mustMachine(t, 4, 0) // width clamps to 1
+	if m.SVAWidth != 1 {
+		t.Errorf("width = %d", m.SVAWidth)
+	}
+}
+
+func TestCoreMapping(t *testing.T) {
+	m := mustMachine(t, 4, 1)
+	if m.Core(0) != 0 || m.Core(3) != 3 {
+		t.Error("1:1 pinning broken")
+	}
+	m2 := mustMachine(t, 8, 1)
+	if m2.Core(5) != 1 {
+		t.Errorf("wrap mapping = %d", m2.Core(5))
+	}
+}
+
+func TestMailboxFIFOAndFlush(t *testing.T) {
+	m := mustMachine(t, 2, 1)
+	m.Send(1, 7, 10, 100)
+	m.Send(1, 7, 20, 105)
+	if !m.HasMessage(1, 7) {
+		t.Error("HasMessage false")
+	}
+	v, at, ok := m.TryRecv(1, 7)
+	if !ok || v != 10 || at != 100 {
+		t.Errorf("first recv = %d@%d,%v", v, at, ok)
+	}
+	v, _, ok = m.TryRecv(1, 7)
+	if !ok || v != 20 {
+		t.Errorf("second recv = %d", v)
+	}
+	if _, _, ok := m.TryRecv(1, 7); ok {
+		t.Error("empty queue returned a message")
+	}
+	m.Send(1, 9, 1, 0)
+	m.Send(1, 9, 2, 0)
+	if n := m.Flush(1, 9); n != 2 {
+		t.Errorf("flushed %d, want 2", n)
+	}
+	if m.HasMessage(1, 9) {
+		t.Error("flush left messages")
+	}
+}
+
+func TestSVAAddressingAndGenerations(t *testing.T) {
+	m := mustMachine(t, 4, 2) // 3 rows, width 2
+	r0, err := m.SVAReadAddr(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := m.SVAWriteAddr(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 == w0 {
+		t.Error("read and write generations must differ")
+	}
+	// Writing next-gen then planning flips generations: the written
+	// address becomes readable.
+	m.Mem.MustStore(w0, 42)
+	va, _ := m.SVASetValidAddr(0)
+	m.Mem.MustStore(va, 1)
+	m.Mem.MustStore(m.WorkAddr(0), 100) // some work so plan is non-bootstrap
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	r0b, _ := m.SVAReadAddr(0, 0)
+	if r0b != w0 {
+		t.Errorf("after flip, read addr %d != old write addr %d", r0b, w0)
+	}
+	if m.Mem.MustLoad(r0b) != 42 {
+		t.Error("flipped value lost")
+	}
+	validNow, _ := m.SVAValidAddr(0)
+	if m.Mem.MustLoad(validNow) != 1 {
+		t.Error("valid flag lost on flip")
+	}
+	// The new write generation's valid flags were cleared.
+	wv, _ := m.SVASetValidAddr(0)
+	if m.Mem.MustLoad(wv) != 0 {
+		t.Error("stale generation valid flag not cleared")
+	}
+}
+
+func TestSVARangeChecks(t *testing.T) {
+	m := mustMachine(t, 4, 2)
+	if _, err := m.SVAReadAddr(3, 0); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := m.SVAReadAddr(0, 2); err == nil {
+		t.Error("idx out of range accepted")
+	}
+	if _, err := m.SVAReadAddr(-1, 0); err == nil {
+		t.Error("negative row accepted")
+	}
+	// Candidate writes: rows beyond svaRows address candidate slots.
+	if _, err := m.SVAWriteAddr(3, 0); err != nil {
+		t.Errorf("candidate slot write rejected: %v", err)
+	}
+	if _, err := m.SVAWriteAddr(3+maxCandidates, 0); err == nil {
+		t.Error("candidate slot beyond range accepted")
+	}
+}
+
+// TestLoadBalancePaperExample reproduces the worked example in Section 4
+// under the paper's interval scheme: three threads with work 10, 1, 1
+// give boundaries at 4 and 8, both of which fall to thread 0:
+// svat=[4,8], svai=[0,1]; the other threads get empty lists (head = ∞).
+func TestLoadBalancePaperExample(t *testing.T) {
+	m := mustMachine(t, 3, 1)
+	m.SetPlanScheme(PaperIntervals)
+	m.Mem.MustStore(m.WorkAddr(0), 10)
+	m.Mem.MustStore(m.WorkAddr(1), 1)
+	m.Mem.MustStore(m.WorkAddr(2), 1)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	svat, svai, err := m.PlanState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svat) != 2 || svat[0] != 4 || svat[1] != 8 {
+		t.Errorf("svat = %v, want [4 8]", svat)
+	}
+	if len(svai) != 2 || svai[0] != 0 || svai[1] != 1 {
+		t.Errorf("svai = %v, want [0 1]", svai)
+	}
+	for tid := 1; tid < 3; tid++ {
+		if got := m.LBThreshold(tid); got != InfThreshold {
+			t.Errorf("thread %d threshold = %d, want ∞", tid, got)
+		}
+	}
+	// Consuming thread 0's list head-first.
+	if m.LBThreshold(0) != 4 || m.LBIndex(0) != 0 {
+		t.Error("head wrong")
+	}
+	m.LBAdvance(0)
+	if m.LBThreshold(0) != 8 || m.LBIndex(0) != 1 {
+		t.Error("second entry wrong")
+	}
+	m.LBAdvance(0)
+	if m.LBThreshold(0) != InfThreshold || m.LBIndex(0) != -1 {
+		t.Error("exhausted list must read ∞ / -1")
+	}
+}
+
+// TestLoadBalanceBalancedScheme checks the default (adaptive) scheme on
+// the 10/1/1 example: with no memoized rows, only the main thread runs
+// next invocation, so it receives every boundary — matching the paper's
+// svat=[4,8], svai=[0,1] for thread 0.
+func TestLoadBalanceBalancedScheme(t *testing.T) {
+	m := mustMachine(t, 3, 1)
+	m.Mem.MustStore(m.WorkAddr(0), 10)
+	m.Mem.MustStore(m.WorkAddr(1), 1)
+	m.Mem.MustStore(m.WorkAddr(2), 1)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	svat0, svai0, _ := m.PlanState(0)
+	if len(svat0) != 2 || svat0[0] != 4 || svat0[1] != 8 {
+		t.Errorf("thread 0 svat = %v, want [4 8]", svat0)
+	}
+	if svai0[0] != 0 || svai0[1] != 1 {
+		t.Errorf("thread 0 svai = %v", svai0)
+	}
+	for tid := 1; tid < 3; tid++ {
+		if svat, _, _ := m.PlanState(tid); len(svat) != 0 {
+			t.Errorf("thread %d svat = %v, want empty (no rows valid)", tid, svat)
+		}
+	}
+}
+
+// TestLoadBalanceEqualSplit drives the adaptive planner with memoized
+// rows carrying position notes: each boundary is assigned to the thread
+// whose reconstructed next chunk contains it.
+func TestLoadBalanceEqualSplit(t *testing.T) {
+	m := mustMachine(t, 4, 1)
+	// First plan: establishes starts (no rows: only main runs).
+	m.Mem.MustStore(m.WorkAddr(0), 400)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate main memoizing all three rows at positions 100/200/300.
+	for row := int64(0); row < 3; row++ {
+		va, err := m.SVAWriteAddr(row, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(va, 7000+row)
+		pa, wa, err := m.SVANoteAddrs(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(pa, 100*(row+1))
+		m.Mem.MustStore(wa, 0)
+		sv, _ := m.SVASetValidAddr(row)
+		m.Mem.MustStore(sv, 1)
+	}
+	for i := 0; i < 4; i++ {
+		m.Mem.MustStore(m.WorkAddr(i), 100)
+	}
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	// Starts reconstructed as [0,100,200,300]; thread j receives every
+	// boundary beyond its start (self-healing suffix), headed by its own
+	// successor's boundary at local threshold 100.
+	for tid := 0; tid < 4; tid++ {
+		svat, svai, _ := m.PlanState(tid)
+		wantLen := 3 - tid
+		if len(svat) != wantLen {
+			t.Fatalf("thread %d svat = %v, want %d entries", tid, svat, wantLen)
+		}
+		for e := 0; e < wantLen; e++ {
+			if svat[e] != int64(100*(e+1)) {
+				t.Errorf("thread %d svat[%d] = %d, want %d", tid, e, svat[e], 100*(e+1))
+			}
+			if svai[e] != int64(tid+e) {
+				t.Errorf("thread %d svai[%d] = %d, want %d", tid, e, svai[e], tid+e)
+			}
+		}
+	}
+}
+
+func TestZeroWorkReinstallsBootstrap(t *testing.T) {
+	m := mustMachine(t, 4, 1)
+	// First plan with work installs a normal plan.
+	m.Mem.MustStore(m.WorkAddr(0), 40)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if m.lb.bootstrapped {
+		t.Error("bootstrap flag should clear after a working plan")
+	}
+	// A zero-work invocation falls back to bootstrap.
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.lb.bootstrapped {
+		t.Error("zero-work plan must reinstall bootstrap")
+	}
+	if m.LBThreshold(0) != 1 {
+		t.Errorf("bootstrap head = %d, want 1", m.LBThreshold(0))
+	}
+	svat, svai, _ := m.PlanState(0)
+	if len(svat) != maxCandidates || len(svai) != maxCandidates {
+		t.Errorf("bootstrap lists sized %d/%d", len(svat), len(svai))
+	}
+	if svat[3] != 8 {
+		t.Errorf("bootstrap thresholds not powers of two: %v", svat[:5])
+	}
+}
+
+func TestBootstrapCandidatePromotion(t *testing.T) {
+	// Simulate invocation 1: main memoizes candidates at powers of two;
+	// plan promotes the nearest candidates into SVA rows.
+	m := mustMachine(t, 4, 1)
+	// Pretend main saw 100 iterations and wrote candidates 1,2,4,...,64
+	// (cursor-driven in real runs; here we write slots directly).
+	for c := 0; c < 7; c++ { // thresholds 1..64
+		addr, err := m.SVAWriteAddr(int64(3-1+c), 0) // rows=3, candidates at 3+
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = addr
+	}
+	for c := 0; c < 7; c++ {
+		vaddr, _ := m.SVAWriteAddr(int64(3+c), 0)
+		m.Mem.MustStore(vaddr, int64(1000+(1<<c))) // marker value
+		sv, _ := m.SVASetValidAddr(int64(3 + c))
+		m.Mem.MustStore(sv, 1)
+	}
+	m.Mem.MustStore(m.WorkAddr(0), 100)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries at 25, 50, 75. Candidate positions must increase with
+	// the row index: row0 nearest 25 -> 32; row1 nearest 50 beyond 32 ->
+	// 64; row2 has no candidate beyond 64 and stays invalid (an ordered
+	// partial promotion beats an out-of-order full one).
+	for row := int64(0); row < 2; row++ {
+		va, _ := m.SVAValidAddr(row)
+		if m.Mem.MustLoad(va) == 0 {
+			t.Errorf("row %d not promoted from candidates", row)
+		}
+		ra, _ := m.SVAReadAddr(row, 0)
+		if v := m.Mem.MustLoad(ra); v < 1000 {
+			t.Errorf("row %d value = %d, want candidate marker", row, v)
+		}
+	}
+	if va, _ := m.SVAValidAddr(2); m.Mem.MustLoad(va) != 0 {
+		t.Error("row 2 promoted out of order; monotonicity guard missing")
+	}
+}
+
+func TestCommitDiscardAndConflicts(t *testing.T) {
+	m := mustMachine(t, 2, 1)
+	a := m.Mem.Alloc(8)
+	m.Mem.MustStore(a, 5)
+
+	// Main writes a directly (non-speculative).
+	m.NoteDirectStore(a)
+	// Thread 1 speculatively reads a (conflict) and writes a+1.
+	buf := m.Bufs[1]
+	if err := m.SpecEnter(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buf.Load(a); err != nil {
+		t.Fatal(err)
+	}
+	_ = buf.Store(a+1, 9)
+	if got := m.ThreadConflicts(1); got != 1 {
+		t.Errorf("conflicts = %d, want 1", got)
+	}
+	n, err := m.CommitThread(1)
+	if err != nil || n != 1 {
+		t.Fatalf("commit = %d, %v", n, err)
+	}
+	if m.Stats.Conflicts != 1 || m.Stats.Commits != 1 || m.Stats.CommittedWords != 1 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+	if m.Mem.MustLoad(a+1) != 9 {
+		t.Error("commit lost write")
+	}
+
+	// Discard path.
+	_ = m.SpecEnter(1)
+	_ = buf.Store(a, 77)
+	m.DiscardThread(1)
+	if m.Mem.MustLoad(a) != 5 {
+		t.Error("discard leaked")
+	}
+	if m.Stats.Discards != 1 || m.Stats.DiscardedWords != 1 {
+		t.Errorf("discard stats = %+v", m.Stats)
+	}
+}
+
+func TestCommitFaultedBufferFails(t *testing.T) {
+	m := mustMachine(t, 2, 1)
+	_ = m.SpecEnter(1)
+	_, _ = m.Bufs[1].Load(1 << 40)
+	if _, err := m.CommitThread(1); err == nil {
+		t.Error("commit of faulted buffer must fail")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	m := mustMachine(t, 1, 1)
+	m.RegionEnter(5, 100)
+	m.RegionInstr()
+	m.RegionInstr()
+	if err := m.RegionExit(5, 150); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Regions[5]
+	if r.Instrs != 2 || r.Cycles != 50 || r.Entries != 1 {
+		t.Errorf("region = %+v", r)
+	}
+	// Instructions outside the region are not attributed.
+	m.RegionInstr()
+	if r.Instrs != 2 {
+		t.Error("inactive region accumulated instructions")
+	}
+	if err := m.RegionExit(6, 0); err == nil {
+		t.Error("exit of never-entered region accepted")
+	}
+	if err := m.RegionExit(5, 0); err == nil {
+		t.Error("double exit accepted")
+	}
+}
+
+func TestHooks(t *testing.T) {
+	m := mustMachine(t, 1, 1)
+	called := false
+	m.Hooks[3] = func(mm *Machine) { called = true }
+	if err := m.RunHook(3); err != nil || !called {
+		t.Errorf("hook: %v, called=%v", err, called)
+	}
+	if err := m.RunHook(99); err == nil {
+		t.Error("unknown hook accepted")
+	}
+}
+
+func TestRecoveryRegistration(t *testing.T) {
+	m := mustMachine(t, 2, 1)
+	if m.Recovery(1) != "" {
+		t.Error("recovery should start unset")
+	}
+	m.SetRecovery(1, "recov")
+	if m.Recovery(1) != "recov" {
+		t.Error("recovery lost")
+	}
+	m.NoteResteer()
+	if m.Stats.Resteers != 1 {
+		t.Error("resteer not counted")
+	}
+	// Discarding an active (speculating) buffer marks the invocation
+	// mis-speculated; a plain resteer of an idle thread does not.
+	if err := m.SpecEnter(1); err != nil {
+		t.Fatal(err)
+	}
+	m.DiscardThread(1)
+	m.Mem.MustStore(m.WorkAddr(0), 10)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.MisspecInvocations != 1 || m.Stats.Invocations != 1 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+	// An idle-thread discard (inactive buffer) does not mark misspec.
+	m.DiscardThread(1)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.MisspecInvocations != 1 {
+		t.Errorf("idle discard counted as misspec: %+v", m.Stats)
+	}
+}
+
+func TestMisspecBoundaryDistribution(t *testing.T) {
+	// Paper scheme: a boundary exactly at a zero-work thread's empty
+	// interval must be skipped past it.
+	m := mustMachine(t, 4, 1)
+	m.SetPlanScheme(PaperIntervals)
+	m.Mem.MustStore(m.WorkAddr(0), 50)
+	m.Mem.MustStore(m.WorkAddr(1), 0)
+	m.Mem.MustStore(m.WorkAddr(2), 0)
+	m.Mem.MustStore(m.WorkAddr(3), 50)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	// W=100, boundaries 25, 50, 75. Intervals: t0 (0,50], t3 (50,100].
+	svat0, svai0, _ := m.PlanState(0)
+	if len(svat0) != 2 || svat0[0] != 25 || svat0[1] != 50 {
+		t.Errorf("thread 0 svat = %v, want [25 50]", svat0)
+	}
+	if svai0[0] != 0 || svai0[1] != 1 {
+		t.Errorf("thread 0 svai = %v", svai0)
+	}
+	svat3, svai3, _ := m.PlanState(3)
+	if len(svat3) != 1 || svat3[0] != 25 {
+		t.Errorf("thread 3 svat = %v, want [25]", svat3)
+	}
+	if svai3[0] != 2 {
+		t.Errorf("thread 3 svai = %v", svai3)
+	}
+	for _, tid := range []int{1, 2} {
+		if svat, _, _ := m.PlanState(tid); len(svat) != 0 {
+			t.Errorf("zero-work thread %d got svat %v", tid, svat)
+		}
+	}
+}
+
+func TestPlanResetsWorkArray(t *testing.T) {
+	m := mustMachine(t, 2, 1)
+	m.Mem.MustStore(m.WorkAddr(0), 10)
+	m.Mem.MustStore(m.WorkAddr(1), 10)
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem.MustLoad(m.WorkAddr(0)) != 0 || m.Mem.MustLoad(m.WorkAddr(1)) != 0 {
+		t.Error("plan must reset the work array")
+	}
+}

@@ -1,0 +1,354 @@
+package sim
+
+import "fmt"
+
+// cache is one set-associative cache with LRU replacement. Tags are full
+// line addresses (address / lineWords); the set index is derived from the
+// line address.
+type cache struct {
+	name      string
+	sets      int
+	assoc     int
+	lineWords int64 // words per line (word = 8 bytes)
+	lines     []cacheLine
+	hits      int64
+	misses    int64
+}
+
+type cacheLine struct {
+	valid bool
+	dirty bool
+	tag   int64 // full line address
+	lru   int64 // larger = more recently used
+}
+
+func newCache(name string, sizeBytes, assoc, lineBytes int) *cache {
+	sets := sizeBytes / (assoc * lineBytes)
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{
+		name:      name,
+		sets:      sets,
+		assoc:     assoc,
+		lineWords: int64(lineBytes / 8),
+		lines:     make([]cacheLine, sets*assoc),
+	}
+}
+
+// lineAddr maps a word address to its line address in this cache.
+func (c *cache) lineAddr(wordAddr int64) int64 { return wordAddr / c.lineWords }
+
+func (c *cache) set(line int64) []cacheLine {
+	s := int(line % int64(c.sets))
+	if s < 0 {
+		s += c.sets
+	}
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
+}
+
+// probe looks up a line without filling; on hit it refreshes LRU state.
+func (c *cache) probe(line int64, clock int64) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// fill inserts a line, evicting the LRU victim if needed. It returns the
+// evicted line address and whether the victim was dirty (valid eviction
+// only).
+func (c *cache) fill(line int64, dirty bool, clock int64) (evicted int64, evictedDirty, didEvict bool) {
+	set := c.set(line)
+	// Already present (e.g. refetch after upgrade): update in place.
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = clock
+			if dirty {
+				set[i].dirty = true
+			}
+			return 0, false, false
+		}
+	}
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	old := set[victim]
+	set[victim] = cacheLine{valid: true, dirty: dirty, tag: line, lru: clock}
+	if old.valid {
+		return old.tag, old.dirty, true
+	}
+	return 0, false, false
+}
+
+// invalidate removes a line if present; it reports whether it was there
+// and whether it was dirty.
+func (c *cache) invalidate(line int64) (present, dirty bool) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			d := set[i].dirty
+			set[i].valid = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// markDirty sets the dirty bit of a present line.
+func (c *cache) markDirty(line int64) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// Hierarchy is the full memory system: per-core private L1 and L2,
+// a shared L3, and a line directory implementing write-invalidate
+// coherence. Access returns the latency of each load or store and
+// maintains statistics.
+type Hierarchy struct {
+	cfg Config
+	l1  []*cache
+	l2  []*cache
+	l3  *cache
+	// dir tracks, per L2-line address, which cores may hold the line and
+	// which core (if any) holds it modified. The directory stands in for
+	// the snoop results of the modelled bus.
+	dir map[int64]*dirEntry
+
+	// Stats
+	Loads, Stores       int64
+	Invalidations       int64
+	CacheToCacheXfers   int64
+	MemAccesses         int64
+	totalLatency        int64
+	perCoreAccesses     []int64
+	perCoreTotalLatency []int64
+	clock               int64 // monotonic counter for LRU ordering
+	coherenceWritebacks int64
+}
+
+type dirEntry struct {
+	sharers    uint64 // bitmask of cores that may hold the line
+	dirtyOwner int    // core holding it modified, or -1
+}
+
+// NewHierarchy builds the cache model for the configuration.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg:                 cfg,
+		l3:                  newCache("L3", cfg.L3Size, cfg.L3Assoc, cfg.L3Line),
+		dir:                 make(map[int64]*dirEntry),
+		perCoreAccesses:     make([]int64, cfg.Cores),
+		perCoreTotalLatency: make([]int64, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, newCache(fmt.Sprintf("L1.%d", i), cfg.L1Size, cfg.L1Assoc, cfg.L1Line))
+		h.l2 = append(h.l2, newCache(fmt.Sprintf("L2.%d", i), cfg.L2Size, cfg.L2Assoc, cfg.L2Line))
+	}
+	return h, nil
+}
+
+// Access simulates one load (isWrite=false) or store (isWrite=true) by
+// the given core at the given word address, returning its latency in
+// cycles.
+func (h *Hierarchy) Access(core int, wordAddr int64, isWrite bool) int {
+	h.clock++
+	if isWrite {
+		h.Stores++
+	} else {
+		h.Loads++
+	}
+	// The directory and L2/L3 operate at L2-line granularity. L1 may
+	// have a smaller line; it is kept inclusive in L2 at its own
+	// granularity.
+	l2 := h.l2[core]
+	l1 := h.l1[core]
+	l1Line := l1.lineAddr(wordAddr)
+	l2Line := l2.lineAddr(wordAddr)
+
+	lat := 0
+	e := h.entry(l2Line)
+
+	switch {
+	case l1.probe(l1Line, h.clock) && (!isWrite || e.dirtyOwner == core || e.soleSharer(core)):
+		// L1 hit. For writes the core must hold the line exclusively or
+		// already dirty; a shared-line write falls through to the
+		// upgrade path below.
+		lat = h.cfg.L1Lat
+		if l2.probe(l2Line, h.clock) {
+			// keep L2 inclusive LRU fresh; no extra latency (parallel tag check)
+		}
+	case l2.probe(l2Line, h.clock) && (!isWrite || e.dirtyOwner == core || e.soleSharer(core)):
+		lat = h.cfg.L2Lat
+		h.fillL1(core, l1Line)
+	default:
+		lat = h.missPath(core, l2Line, isWrite)
+		h.fillL2(core, l2Line, false)
+		h.fillL1(core, l1Line)
+	}
+
+	if isWrite {
+		// Invalidate all other sharers (write-invalidate protocol).
+		if e.sharers&^(1<<uint(core)) != 0 {
+			lat += h.cfg.BusLat
+			for c := 0; c < h.cfg.Cores; c++ {
+				if c == core || e.sharers&(1<<uint(c)) == 0 {
+					continue
+				}
+				h.invalidateCore(c, l2Line)
+				e.sharers &^= 1 << uint(c)
+				h.Invalidations++
+			}
+		}
+		e.dirtyOwner = core
+		l2.markDirty(l2Line)
+		// L1 is write-through into L2 (Table 1), so the L1 copy is
+		// clean and the L2 copy holds the modified data.
+	} else if e.dirtyOwner != -1 && e.dirtyOwner != core {
+		// Shared read of a remotely-modified line: the owner supplies
+		// the data and downgrades to shared (handled in missPath), so
+		// reaching here with a foreign dirty owner means the probe hit a
+		// stale local line; treat as handled by missPath already.
+		e.dirtyOwner = -1
+	}
+	e.sharers |= 1 << uint(core)
+
+	h.totalLatency += int64(lat)
+	h.perCoreAccesses[core]++
+	h.perCoreTotalLatency[core] += int64(lat)
+	return lat
+}
+
+func (e *dirEntry) soleSharer(core int) bool {
+	return e.sharers&^(1<<uint(core)) == 0
+}
+
+func (h *Hierarchy) entry(l2Line int64) *dirEntry {
+	e := h.dir[l2Line]
+	if e == nil {
+		e = &dirEntry{dirtyOwner: -1}
+		h.dir[l2Line] = e
+	}
+	return e
+}
+
+// missPath resolves a miss beyond the private caches: remote dirty copy
+// (cache-to-cache transfer), shared L3 hit, or main memory.
+func (h *Hierarchy) missPath(core int, l2Line int64, isWrite bool) int {
+	e := h.entry(l2Line)
+	if e.dirtyOwner != -1 && e.dirtyOwner != core {
+		// Cache-to-cache transfer from the dirty owner via the bus; the
+		// owner's copy is downgraded (read) or invalidated (write).
+		h.CacheToCacheXfers++
+		owner := e.dirtyOwner
+		if isWrite {
+			h.invalidateCore(owner, l2Line)
+			e.sharers &^= 1 << uint(owner)
+		} else {
+			// Owner keeps a clean shared copy; L3 picks up the data.
+			h.coherenceWritebacks++
+		}
+		e.dirtyOwner = -1
+		h.l3.fill(h.l3.lineAddr(l2Line*h.l2[core].lineWords), false, h.clock)
+		return h.cfg.L3Lat + h.cfg.BusLat
+	}
+	l3Line := h.l3.lineAddr(l2Line * h.l2[core].lineWords)
+	if h.l3.probe(l3Line, h.clock) {
+		return h.cfg.L3Lat
+	}
+	h.MemAccesses++
+	h.l3.fill(l3Line, false, h.clock)
+	return h.cfg.MemLat
+}
+
+func (h *Hierarchy) fillL1(core int, l1Line int64) {
+	h.l1[core].fill(l1Line, false, h.clock)
+}
+
+func (h *Hierarchy) fillL2(core int, l2Line int64, dirty bool) {
+	evicted, evictedDirty, did := h.l2[core].fill(l2Line, dirty, h.clock)
+	if did {
+		// Keep L1 inclusive: drop any L1 lines within the evicted L2 line.
+		h.dropL1Range(core, evicted)
+		if evictedDirty {
+			// Write back to L3 (buffered; no added latency).
+			h.l3.fill(h.l3.lineAddr(evicted*h.l2[core].lineWords), true, h.clock)
+			h.coherenceWritebacks++
+		}
+		if e, ok := h.dir[evicted]; ok {
+			e.sharers &^= 1 << uint(core)
+			if e.dirtyOwner == core {
+				e.dirtyOwner = -1
+			}
+		}
+	}
+}
+
+// dropL1Range invalidates every L1 line contained in the given L2 line.
+func (h *Hierarchy) dropL1Range(core int, l2Line int64) {
+	l2w := h.l2[core].lineWords
+	l1w := h.l1[core].lineWords
+	base := l2Line * l2w
+	for off := int64(0); off < l2w; off += l1w {
+		h.l1[core].invalidate((base + off) / l1w)
+	}
+}
+
+func (h *Hierarchy) invalidateCore(core int, l2Line int64) {
+	h.l2[core].invalidate(l2Line)
+	h.dropL1Range(core, l2Line)
+}
+
+// Stats summarizes hierarchy behaviour.
+type Stats struct {
+	Loads, Stores     int64
+	L1Hits, L1Misses  int64
+	L2Hits, L2Misses  int64
+	L3Hits, L3Misses  int64
+	Invalidations     int64
+	CacheToCacheXfers int64
+	MemAccesses       int64
+	AvgLatency        float64
+}
+
+// Stats returns aggregate counters across all cores.
+func (h *Hierarchy) Stats() Stats {
+	s := Stats{
+		Loads: h.Loads, Stores: h.Stores,
+		Invalidations:     h.Invalidations,
+		CacheToCacheXfers: h.CacheToCacheXfers,
+		MemAccesses:       h.MemAccesses,
+		L3Hits:            h.l3.hits, L3Misses: h.l3.misses,
+	}
+	for i := range h.l1 {
+		s.L1Hits += h.l1[i].hits
+		s.L1Misses += h.l1[i].misses
+		s.L2Hits += h.l2[i].hits
+		s.L2Misses += h.l2[i].misses
+	}
+	if n := h.Loads + h.Stores; n > 0 {
+		s.AvgLatency = float64(h.totalLatency) / float64(n)
+	}
+	return s
+}

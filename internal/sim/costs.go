@@ -1,0 +1,21 @@
+package sim
+
+import "spice/internal/ir"
+
+// OpCost returns the base latency in cycles of a non-memory operation.
+// Loads and stores are priced by the cache hierarchy instead.
+func (c Config) OpCost(op ir.Op) int {
+	switch {
+	case op == ir.OpMul:
+		return c.MulLat
+	case op == ir.OpDiv || op == ir.OpRem:
+		return c.DivLat
+	case op == ir.OpBr || op == ir.OpCBr:
+		return c.BranchLat
+	case op == ir.OpRet:
+		return c.BranchLat
+	default:
+		// const, move, add/sub/logic, compares.
+		return c.ALULat
+	}
+}

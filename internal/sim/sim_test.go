@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"spice/internal/ir"
+)
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if c.Cores != 4 {
+		t.Errorf("cores = %d, want 4", c.Cores)
+	}
+	if c.L1Size != 16<<10 || c.L1Assoc != 4 || c.L1Line != 64 || c.L1Lat != 1 {
+		t.Errorf("L1 = %d/%d/%d/%d", c.L1Size, c.L1Assoc, c.L1Line, c.L1Lat)
+	}
+	if c.L2Size != 256<<10 || c.L2Assoc != 8 || c.L2Line != 128 {
+		t.Errorf("L2 = %d/%d/%d", c.L2Size, c.L2Assoc, c.L2Line)
+	}
+	if c.L3Size != 1536<<10 || c.L3Assoc != 12 {
+		t.Errorf("L3 = %d/%d", c.L3Size, c.L3Assoc)
+	}
+	if c.MemLat != 141 {
+		t.Errorf("memory latency = %d, want 141", c.MemLat)
+	}
+	s := c.String()
+	for _, want := range []string{"141", "write-invalidate", "16 KB", "1.5 MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"no cores", func(c *Config) { c.Cores = 0 }},
+		{"bad line size", func(c *Config) { c.L1Line = 48 }},
+		{"zero assoc", func(c *Config) { c.L2Assoc = 0 }},
+		{"indivisible size", func(c *Config) { c.L3Size = 100 }},
+		{"zero latency", func(c *Config) { c.MemLat = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			tc.mod(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate accepted bad config")
+			}
+		})
+	}
+}
+
+func TestOpCosts(t *testing.T) {
+	c := DefaultConfig()
+	if c.OpCost(ir.OpAdd) != c.ALULat {
+		t.Error("add cost")
+	}
+	if c.OpCost(ir.OpMul) != c.MulLat {
+		t.Error("mul cost")
+	}
+	if c.OpCost(ir.OpDiv) != c.DivLat || c.OpCost(ir.OpRem) != c.DivLat {
+		t.Error("div/rem cost")
+	}
+	if c.OpCost(ir.OpBr) != c.BranchLat || c.OpCost(ir.OpCBr) != c.BranchLat {
+		t.Error("branch cost")
+	}
+	if c.OpCost(ir.OpConst) != c.ALULat || c.OpCost(ir.OpCmpEQ) != c.ALULat {
+		t.Error("alu cost")
+	}
+}
+
+func mustHier(t *testing.T, cfg Config) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestColdMissThenHits(t *testing.T) {
+	cfg := DefaultConfig()
+	h := mustHier(t, cfg)
+	// First access: cold, memory latency.
+	if lat := h.Access(0, 100, false); lat != cfg.MemLat {
+		t.Errorf("cold load latency = %d, want %d", lat, cfg.MemLat)
+	}
+	// Second access same word: L1 hit.
+	if lat := h.Access(0, 100, false); lat != cfg.L1Lat {
+		t.Errorf("warm load latency = %d, want %d", lat, cfg.L1Lat)
+	}
+	// Same L1 line (64B = 8 words): hit.
+	if lat := h.Access(0, 101, false); lat != cfg.L1Lat {
+		t.Errorf("same-line load = %d, want L1 hit", lat)
+	}
+	s := h.Stats()
+	if s.Loads != 3 || s.MemAccesses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	cfg := DefaultConfig()
+	h := mustHier(t, cfg)
+	// L1: 16KB, 4-way, 64B lines -> 64 sets; addresses with the same
+	// set index are 64*64B = 4096B = 512 words apart.
+	strideWords := int64(512)
+	base := int64(0)
+	// Fill one set beyond capacity (5 lines into a 4-way set).
+	for i := int64(0); i < 5; i++ {
+		h.Access(0, base+i*strideWords, false)
+	}
+	// The first line was LRU-evicted from L1 but still lives in L2.
+	if lat := h.Access(0, base, false); lat != cfg.L2Lat {
+		t.Errorf("latency = %d, want L2 hit %d", lat, cfg.L2Lat)
+	}
+}
+
+func TestWriteInvalidateCoherence(t *testing.T) {
+	cfg := DefaultConfig()
+	h := mustHier(t, cfg)
+	// Core 0 loads; core 1 loads (both share).
+	h.Access(0, 200, false)
+	h.Access(1, 200, false)
+	// Core 1 writes: invalidates core 0's copy.
+	h.Access(1, 200, true)
+	if h.Stats().Invalidations == 0 {
+		t.Error("no invalidations recorded")
+	}
+	// Core 0's next read misses its private caches and transfers from
+	// core 1's modified copy.
+	lat := h.Access(0, 200, false)
+	if lat != cfg.L3Lat+cfg.BusLat {
+		t.Errorf("post-invalidate load = %d, want cache-to-cache %d",
+			lat, cfg.L3Lat+cfg.BusLat)
+	}
+	if h.Stats().CacheToCacheXfers == 0 {
+		t.Error("no cache-to-cache transfer recorded")
+	}
+}
+
+func TestWriteToSharedLineUpgrades(t *testing.T) {
+	cfg := DefaultConfig()
+	h := mustHier(t, cfg)
+	h.Access(0, 300, false)
+	h.Access(1, 300, false)
+	// Core 0 writes a line it shares: must pay an upgrade (invalidation
+	// broadcast), not a plain L1 hit.
+	lat := h.Access(0, 300, true)
+	if lat <= cfg.L1Lat {
+		t.Errorf("shared-line write latency = %d; want upgrade cost > L1 hit", lat)
+	}
+	// Now exclusive: subsequent writes are L1 hits.
+	lat = h.Access(0, 300, true)
+	if lat != cfg.L1Lat {
+		t.Errorf("exclusive write = %d, want %d", lat, cfg.L1Lat)
+	}
+}
+
+func TestPointerChaseMissesDominates(t *testing.T) {
+	// A pointer chase over a large footprint should mostly miss: the
+	// average latency must exceed the L2 latency. This is the property
+	// that makes list traversal the critical path in the paper.
+	cfg := DefaultConfig()
+	h := mustHier(t, cfg)
+	stride := int64(1024 + 16) // larger than an L2 line, set-spreading
+	addr := int64(0)
+	n := 40000
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(h.Access(0, addr, false))
+		addr += stride
+	}
+	avg := float64(total) / float64(n)
+	if avg < float64(cfg.L2Lat) {
+		t.Errorf("avg pointer-chase latency %.1f; want misses to dominate", avg)
+	}
+}
+
+func TestLargerCacheNeverSlowerOnSameTrace(t *testing.T) {
+	// Latency monotonicity: doubling L2 capacity cannot increase the
+	// total latency of the same access trace (single core, no sharing).
+	small := DefaultConfig()
+	big := DefaultConfig()
+	big.L2Size *= 2
+
+	trace := make([]int64, 0, 20000)
+	addr := int64(1)
+	for i := 0; i < 20000; i++ {
+		// Mix of reuse and streaming.
+		if i%7 == 0 {
+			addr = int64(i % 512)
+		} else {
+			addr += 33
+		}
+		trace = append(trace, addr)
+	}
+	run := func(cfg Config) int64 {
+		h := mustHier(t, cfg)
+		var total int64
+		for _, a := range trace {
+			total += int64(h.Access(0, a, false))
+		}
+		return total
+	}
+	if ts, tb := run(small), run(big); tb > ts {
+		t.Errorf("bigger L2 slower: %d > %d", tb, ts)
+	}
+}
+
+func TestStatsAverages(t *testing.T) {
+	h := mustHier(t, DefaultConfig())
+	h.Access(0, 1, false)
+	h.Access(0, 1, true)
+	s := h.Stats()
+	if s.Loads != 1 || s.Stores != 1 {
+		t.Errorf("loads/stores = %d/%d", s.Loads, s.Stores)
+	}
+	if s.AvgLatency <= 0 {
+		t.Errorf("avg latency = %f", s.AvgLatency)
+	}
+}

@@ -1,0 +1,593 @@
+package workloads
+
+import (
+	"spice/internal/ir"
+	"spice/internal/irparse"
+	"spice/internal/rt"
+)
+
+func parseProgram(src string) (*ir.Program, error) { return irparse.Parse(src) }
+
+// ---------------------------------------------------------------------
+// otter: find_lightest_cl — the paper's running example (Figure 1a).
+// A linked list of clauses is scanned for the minimum pick_weight; the
+// lightest clause is removed between invocations and new clauses are
+// inserted, so trip counts vary and the traversal order churns.
+// Node layout: 0=weight, 1=next, 2=mark.
+// ---------------------------------------------------------------------
+
+const otterSrc = `
+func main(head, ninv, filler) {
+entry:
+  inv = const 0
+  xsum = const 0
+  csum = const 0
+  facc = const 1
+  br outer
+outer:
+  oc = cmplt inv, ninv
+  cbr oc, fill0, done
+` + fillerSrc + `
+postfill:
+  call hook(1)
+  call region_enter(1)
+  br pre
+pre:
+  wm = const 9223372036854775807
+  cm = const 0
+  c = load head, 0
+  br loop
+loop:
+  isnil = cmpeq c, 0
+  cbr isnil, exitb, body
+body:
+  w = load c, 0
+  lt = cmplt w, wm
+  cbr lt, upd, nxt
+upd:
+  wm = move w
+  cm = move c
+  br nxt
+nxt:
+  c = load c, 1
+  br loop
+exitb:
+  call region_exit(1)
+  xsum = add xsum, wm
+  haveMin = cmpne cm, 0
+  cbr haveMin, mark, post
+mark:
+  store inv, cm, 2
+  mw = load cm, 0
+  csum = xor csum, mw
+  br post
+post:
+  inv = add inv, 1
+  br outer
+done:
+  ret xsum, csum, facc
+}
+`
+
+// Otter returns the otter find_lightest_cl benchmark (Table 2: 20% hot,
+// Figure 7: roughly 1.6x/2.2x at 2/4 threads).
+func Otter() *Benchmark {
+	return &Benchmark{
+		Name:          "otter",
+		Description:   "theorem prover for first-order logic",
+		LoopName:      "find_lightest_cl",
+		LoopHeader:    "loop",
+		Hotness:       0.20,
+		PaperSpeedup2: 1.55, PaperSpeedup4: 2.20,
+		Defaults: Params{Size: 160, Invocations: 60, Seed: 11, FillerIters: 3100},
+		Program:  func(Params) *ir.Program { return mustParseProgram("otter", otterSrc) },
+		Init: func(m *rt.Machine, p Params) *Instance {
+			// The clause list grows across invocations (the paper notes
+			// otter's trip counts vary due to insertions, and that early
+			// small invocations make per-invocation overhead visible), so
+			// the pool holds several times the initial size.
+			capacity := p.Size * 8
+			w := newWorld(m, capacity, 3, p.Seed)
+			for i := int64(0); i < capacity; i++ {
+				m.Mem.MustStore(w.node(i)+0, w.rng.Int63n(1_000_000)+1)
+			}
+			var free []int64
+			for i := p.Size; i < capacity; i++ {
+				free = append(free, w.node(i))
+			}
+			active := make([]int64, p.Size)
+			for i := int64(0); i < p.Size; i++ {
+				active[i] = w.node(i)
+			}
+			w.relink(active, 1)
+			m.Hooks[HookMutate] = func(*rt.Machine) { otterMutate(w, &free) }
+			return &Instance{
+				Args:     []int64{w.headCell, p.Invocations, p.FillerIters},
+				Checksum: func() []int64 { return w.checksumRegion(map[int64]bool{1: true}) },
+			}
+		},
+	}
+}
+
+// otterMutate removes the lightest clause (the previous invocation's
+// result) and inserts newly generated clauses at random positions — the
+// Figure 1(b) dynamics. Insertions outnumber removals, so the list grows
+// across invocations and trip counts vary.
+func otterMutate(w *world, free *[]int64) {
+	mem := w.m.Mem
+	nodes := w.listNodes(1)
+	if len(nodes) > 0 {
+		minIdx := 0
+		for i, nd := range nodes {
+			if mem.MustLoad(nd+0) < mem.MustLoad(nodes[minIdx]+0) {
+				minIdx = i
+			}
+		}
+		*free = append(*free, nodes[minIdx])
+		nodes = append(nodes[:minIdx], nodes[minIdx+1:]...)
+	}
+	// Generated clauses: ~5% growth plus a couple, bounded by the pool.
+	insertions := len(nodes)/20 + 2
+	for k := 0; k < insertions && len(*free) > 0; k++ {
+		nd := (*free)[len(*free)-1]
+		*free = (*free)[:len(*free)-1]
+		mem.MustStore(nd+0, w.rng.Int63n(1_000_000)+1)
+		pos := 0
+		if len(nodes) > 0 {
+			pos = w.rng.Intn(len(nodes) + 1)
+		}
+		nodes = append(nodes[:pos], append([]int64{nd}, nodes[pos:]...)...)
+	}
+	if len(nodes) > 3 && w.rng.Intn(4) == 0 {
+		i := w.rng.Intn(len(nodes) - 1)
+		nodes[i], nodes[i+1] = nodes[i+1], nodes[i]
+	}
+	w.relink(nodes, 1)
+}
+
+// ---------------------------------------------------------------------
+// ks: FindMaxGpAndSwap inner loop — Kernighan-Lin graph partitioning.
+// The inner loop scans the free-cell list computing the maximum gain
+// pair; the chosen cell is locked (removed) after each invocation and a
+// pass restores the full list. Gains of a few neighbours are updated in
+// place (values change, node identities are stable), so live-in
+// predictability is very high.
+// Node layout: 0=gain, 1=next, 2=dcost, 3=mark.
+// ---------------------------------------------------------------------
+
+const ksSrc = `
+func main(head, ninv, filler) {
+entry:
+  inv = const 0
+  gsum = const 0
+  facc = const 1
+  br outer
+outer:
+  oc = cmplt inv, ninv
+  cbr oc, fill0, done
+` + fillerSrc + `
+postfill:
+  call hook(1)
+  call region_enter(1)
+  br pre
+pre:
+  gm = const -9223372036854775808
+  bm = const 0
+  c = load head, 0
+  br loop
+loop:
+  isnil = cmpeq c, 0
+  cbr isnil, exitb, body
+body:
+  g = load c, 0
+  d = load c, 2
+  e1 = load c, 4
+  e2 = load c, 5
+  e3 = load c, 6
+  e4 = load c, 7
+  gp = sub g, d
+  gp = add gp, gp
+  gp = sub gp, d
+  x1 = xor e1, e2
+  x2 = add e3, e4
+  x2 = shr x2, 1
+  gp = add gp, x1
+  gp = sub gp, x2
+  gt = cmpgt gp, gm
+  cbr gt, upd, nxt
+upd:
+  gm = move gp
+  bm = move c
+  br nxt
+nxt:
+  c = load c, 1
+  br loop
+exitb:
+  call region_exit(1)
+  gsum = add gsum, gm
+  haveMax = cmpne bm, 0
+  cbr haveMax, mark, post
+mark:
+  store inv, bm, 3
+  br post
+post:
+  inv = add inv, 1
+  br outer
+done:
+  ret gsum, facc
+}
+`
+
+// KS returns the Kernighan-Lin benchmark (Table 2: 98% hot, Figure 7:
+// the best performer at roughly 1.9x/2.57x).
+func KS() *Benchmark {
+	return &Benchmark{
+		Name:          "ks",
+		Description:   "Kernighan-Lin graph partitioning",
+		LoopName:      "FindMaxGpAndSwap (inner loop)",
+		LoopHeader:    "loop",
+		Hotness:       0.98,
+		PaperSpeedup2: 1.90, PaperSpeedup4: 2.57,
+		Defaults: Params{Size: 4000, Invocations: 40, Seed: 7, FillerIters: 120},
+		Program:  func(Params) *ir.Program { return mustParseProgram("ks", ksSrc) },
+		Init: func(m *rt.Machine, p Params) *Instance {
+			w := newWorld(m, p.Size, 8, p.Seed)
+			for i := int64(0); i < w.n; i++ {
+				m.Mem.MustStore(w.node(i)+0, w.rng.Int63n(2_000_000)-1_000_000)
+				m.Mem.MustStore(w.node(i)+2, w.rng.Int63n(1000))
+				for o := int64(4); o < 8; o++ {
+					m.Mem.MustStore(w.node(i)+o, w.rng.Int63n(10_000))
+				}
+			}
+			w.linkAll(1)
+			locked := 0
+			m.Hooks[HookMutate] = func(*rt.Machine) { ksMutate(w, &locked) }
+			return &Instance{
+				Args:     []int64{w.headCell, p.Invocations, p.FillerIters},
+				Checksum: func() []int64 { return w.checksumRegion(map[int64]bool{1: true}) },
+			}
+		},
+	}
+}
+
+// ksMutate locks the previously chosen max-gain cell (removing it from
+// the free list), updates the gains of a few neighbours in place, and
+// starts a new pass (restoring the full list) once a quarter of the
+// cells are locked.
+func ksMutate(w *world, locked *int) {
+	mem := w.m.Mem
+	nodes := w.listNodes(1)
+	if int64(len(nodes)) <= w.n-w.n/4 || len(nodes) == 0 {
+		// Pass complete: unlock everything.
+		all := make([]int64, w.n)
+		for i := int64(0); i < w.n; i++ {
+			all[i] = w.node(i)
+		}
+		w.relink(all, 1)
+		*locked = 0
+		nodes = all
+	}
+	// Find and remove the max-gain cell (as FindMaxGpAndSwap locks it).
+	maxIdx := 0
+	best := int64(-1 << 62)
+	for i, nd := range nodes {
+		g := mem.MustLoad(nd + 0)
+		d := mem.MustLoad(nd + 2)
+		gp := 2*(g-d) - d
+		gp += mem.MustLoad(nd+4) ^ mem.MustLoad(nd+5)
+		gp -= (mem.MustLoad(nd+6) + mem.MustLoad(nd+7)) >> 1
+		if gp > best {
+			best, maxIdx = gp, i
+		}
+	}
+	nodes = append(nodes[:maxIdx], nodes[maxIdx+1:]...)
+	w.relink(nodes, 1)
+	*locked++
+	// Update a few neighbours' gains in place.
+	for k := 0; k < 6 && len(nodes) > 0; k++ {
+		nd := nodes[w.rng.Intn(len(nodes))]
+		mem.MustStore(nd+0, mem.MustLoad(nd+0)+w.rng.Int63n(2001)-1000)
+	}
+}
+
+// ---------------------------------------------------------------------
+// 181.mcf: refresh_potential — spanning-tree node potentials refreshed
+// by walking the tree in traversal ("thread") order. Each node reads its
+// parent's previous potential, adds its arc costs (a variable-length
+// inner loop — the paper's source of load imbalance), and stores the
+// new potential. Potentials are double-buffered (read previous, write
+// next) so chunks carry no cross-thread memory dependences, matching
+// the paper's loop-selection criterion of not requiring memory conflict
+// detection.
+// Node layout: 0=next, 1=parent, 2=cost, 3=potPrev, 4=potNext,
+// 5=arcBase, 6=arcCount.
+// ---------------------------------------------------------------------
+
+const mcfSrc = `
+func main(head, ninv, filler) {
+entry:
+  inv = const 0
+  psum = const 0
+  facc = const 1
+  br outer
+outer:
+  oc = cmplt inv, ninv
+  cbr oc, fill0, done
+` + fillerSrc + `
+postfill:
+  call hook(1)
+  call region_enter(1)
+  br pre
+pre:
+  s = const 0
+  c = load head, 0
+  br loop
+loop:
+  isnil = cmpeq c, 0
+  cbr isnil, exitb, body
+body:
+  par = load c, 1
+  haspar = cmpne par, 0
+  cbr haspar, wpar, npar
+wpar:
+  pp = load par, 3
+  br potc
+npar:
+  pp = const 0
+  br potc
+potc:
+  cost = load c, 2
+  pot = add pp, cost
+  ab = load c, 5
+  an = load c, 6
+  ai = const 0
+  br arcloop
+arcloop:
+  ac = cmplt ai, an
+  cbr ac, arcbody, arcdone
+arcbody:
+  aaddr = add ab, ai
+  av = load aaddr, 0
+  pot = add pot, av
+  ai = add ai, 1
+  br arcloop
+arcdone:
+  store pot, c, 4
+  s = add s, pot
+  c = load c, 0
+  br loop
+exitb:
+  call region_exit(1)
+  psum = xor psum, s
+  inv = add inv, 1
+  br outer
+done:
+  ret psum, facc
+}
+`
+
+// MCF returns the 181.mcf refresh_potential benchmark (Table 2: 30% hot,
+// Figure 7: roughly 1.65x/2.30x).
+func MCF() *Benchmark {
+	return &Benchmark{
+		Name:          "181.mcf",
+		Description:   "vehicle scheduling (network simplex)",
+		LoopName:      "refresh_potential",
+		LoopHeader:    "loop",
+		Hotness:       0.30,
+		PaperSpeedup2: 1.65, PaperSpeedup4: 2.30,
+		Defaults: Params{Size: 1800, Invocations: 40, Seed: 23, FillerIters: 26500},
+		Program:  func(Params) *ir.Program { return mustParseProgram("mcf", mcfSrc) },
+		Init: func(m *rt.Machine, p Params) *Instance {
+			w := newWorld(m, p.Size, 7, p.Seed)
+			arcPool := m.Mem.Alloc(p.Size * 20)
+			arcUsed := int64(0)
+			for i := int64(0); i < w.n; i++ {
+				nd := w.node(i)
+				// Parent: a random earlier node in traversal order
+				// (tree property), none for the root.
+				if i > 0 {
+					lo := i - 40
+					if lo < 0 {
+						lo = 0
+					}
+					par := lo + w.rng.Int63n(i-lo)
+					m.Mem.MustStore(nd+1, w.node(par))
+				}
+				m.Mem.MustStore(nd+2, w.rng.Int63n(1000))
+				// Hub-skewed arc counts: the first tenth of the nodes
+				// (depot hubs) carry most arcs, so equal iteration counts
+				// are NOT equal work — the paper's load-imbalance source
+				// ("a better metric for load balancing than just
+				// iteration counts would improve the speedup").
+				var cnt int64
+				if i < w.n/10 {
+					cnt = 6 + w.rng.Int63n(7)
+				} else {
+					cnt = w.rng.Int63n(4)
+				}
+				m.Mem.MustStore(nd+5, arcPool+arcUsed)
+				m.Mem.MustStore(nd+6, cnt)
+				for a := int64(0); a < cnt; a++ {
+					m.Mem.MustStore(arcPool+arcUsed+a, w.rng.Int63n(100))
+				}
+				arcUsed += cnt
+			}
+			w.linkAll(0)
+			m.Hooks[HookMutate] = func(*rt.Machine) { mcfMutate(w) }
+			return &Instance{
+				Args: []int64{w.headCell, p.Invocations, p.FillerIters},
+				Checksum: func() []int64 {
+					return w.checksumRegion(map[int64]bool{0: true, 1: true, 5: true})
+				},
+			}
+		},
+	}
+}
+
+// mcfMutate copies the freshly written potentials into the "previous"
+// slots (the double-buffer step standing in for the rest of the simplex
+// iteration), perturbs a few arc costs, and occasionally moves a node to
+// a new position in the traversal order (membership stays stable, so
+// the memoized live-ins usually survive).
+func mcfMutate(w *world) {
+	mem := w.m.Mem
+	for i := int64(0); i < w.n; i++ {
+		nd := w.node(i)
+		mem.MustStore(nd+3, mem.MustLoad(nd+4))
+	}
+	for k := 0; k < 8; k++ {
+		nd := w.node(w.rng.Int63n(w.n))
+		mem.MustStore(nd+2, w.rng.Int63n(1000))
+	}
+	if w.rng.Intn(3) == 0 {
+		nodes := w.listNodes(0)
+		if len(nodes) > 4 {
+			i := w.rng.Intn(len(nodes))
+			nd := nodes[i]
+			nodes = append(nodes[:i], nodes[i+1:]...)
+			j := w.rng.Intn(len(nodes) + 1)
+			nodes = append(nodes[:j], append([]int64{nd}, nodes[j:]...)...)
+			w.relink(nodes, 0)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// 458.sjeng: std_eval — chess position evaluation. The loop walks the
+// piece list with complex per-piece control flow and carries eight
+// live-ins: the piece pointer plus seven running state values derived
+// from structural piece codes. Between invocations the engine usually
+// changes only piece valuations (the speculated state stream is
+// unaffected), but about a quarter of the time a move changes the
+// structure, breaking every memoized live-in tuple after the changed
+// piece — the paper reports ~25% of invocations mis-speculating.
+// Node layout: 0=value, 1=next, 2=type, 3=structCode.
+// ---------------------------------------------------------------------
+
+const sjengSrc = `
+func main(head, ninv, filler) {
+entry:
+  inv = const 0
+  esum = const 0
+  facc = const 1
+  br outer
+outer:
+  oc = cmplt inv, ninv
+  cbr oc, fill0, done
+` + fillerSrc + `
+postfill:
+  call hook(1)
+  call region_enter(1)
+  br pre
+pre:
+  score = const 0
+  s1 = const 7
+  s2 = const 11
+  s3 = const 13
+  s4 = const 17
+  s5 = const 19
+  s6 = const 23
+  s7 = const 29
+  c = load head, 0
+  br loop
+loop:
+  isnil = cmpeq c, 0
+  cbr isnil, exitb, body
+body:
+  pv = load c, 0
+  pt = load c, 2
+  t0 = cmpeq pt, 0
+  cbr t0, case0, chk1
+case0:
+  e = mul pv, 3
+  br join
+chk1:
+  t1 = cmpeq pt, 1
+  cbr t1, case1, chk2
+case1:
+  e = add pv, s1
+  e = shl e, 1
+  br join
+chk2:
+  t2 = cmpeq pt, 2
+  cbr t2, case2, case3
+case2:
+  e = sub s2, pv
+  e = mul e, 5
+  br join
+case3:
+  e = xor pv, s3
+  e = add e, 64
+  br join
+join:
+  score = add score, e
+  ps = load c, 3
+  s1 = xor s1, ps
+  s1 = add s1, s5
+  s2 = add s2, s1
+  s2 = xor s2, s7
+  s3 = xor s3, s2
+  s4 = add s4, ps
+  s5 = xor s5, s4
+  s6 = add s6, s3
+  s7 = xor s7, s6
+  c = load c, 1
+  br loop
+exitb:
+  call region_exit(1)
+  esum = xor esum, score
+  esum = add esum, s7
+  inv = add inv, 1
+  br outer
+done:
+  ret esum, facc
+}
+`
+
+// Sjeng returns the 458.sjeng std_eval benchmark (Table 2: 26% hot,
+// Figure 7: the weakest performer at roughly 1.24x/1.50x).
+func Sjeng() *Benchmark {
+	return &Benchmark{
+		Name:          "458.sjeng",
+		Description:   "chess software (position evaluation)",
+		LoopName:      "std_eval",
+		LoopHeader:    "loop",
+		Hotness:       0.26,
+		PaperSpeedup2: 1.24, PaperSpeedup4: 1.50,
+		Defaults: Params{Size: 1400, Invocations: 40, Seed: 31, FillerIters: 14000},
+		Program:  func(Params) *ir.Program { return mustParseProgram("sjeng", sjengSrc) },
+		Init: func(m *rt.Machine, p Params) *Instance {
+			w := newWorld(m, p.Size, 4, p.Seed)
+			for i := int64(0); i < w.n; i++ {
+				nd := w.node(i)
+				m.Mem.MustStore(nd+0, w.rng.Int63n(1000))
+				m.Mem.MustStore(nd+2, w.rng.Int63n(4))
+				m.Mem.MustStore(nd+3, w.rng.Int63n(1<<30))
+			}
+			w.linkAll(1)
+			m.Hooks[HookMutate] = func(*rt.Machine) { sjengMutate(w) }
+			return &Instance{
+				Args:     []int64{w.headCell, p.Invocations, p.FillerIters},
+				Checksum: func() []int64 { return w.checksumRegion(map[int64]bool{1: true}) },
+			}
+		},
+	}
+}
+
+// sjengMutate models one engine move: piece valuations always change (a
+// handful of squares), and with probability ~1/3 the move is structural
+// — a piece's structural code changes, disturbing the speculated state
+// stream for every later piece.
+func sjengMutate(w *world) {
+	mem := w.m.Mem
+	for k := 0; k < 5; k++ {
+		nd := w.node(w.rng.Int63n(w.n))
+		mem.MustStore(nd+0, w.rng.Int63n(1000))
+		mem.MustStore(nd+2, w.rng.Int63n(4))
+	}
+	if w.rng.Intn(3) == 0 {
+		nd := w.node(w.rng.Int63n(w.n))
+		mem.MustStore(nd+3, w.rng.Int63n(1<<30))
+	}
+}

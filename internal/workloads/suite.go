@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"spice/internal/ir"
+	"spice/internal/rt"
+)
+
+// SuiteBench is one program of the Figure 8 predictability study. Since
+// the original SPEC / Mediabench sources cannot be shipped, each
+// benchmark is modeled as a set of pointer-traversal loops whose
+// cross-invocation membership churn is calibrated to the benchmark's
+// structure: Disturb[i] is the probability that an invocation of loop i
+// replaces most of its data structure (making its live-in stream
+// unpredictable); otherwise only a small fraction churns. The profiler
+// then *measures* predictability with the paper's signature-set
+// mechanism; only the churn rates are assumed.
+type SuiteBench struct {
+	Name    string
+	Disturb []float64
+}
+
+// Fig8a returns the SPEC-integer-style suite of Figure 8(a).
+func Fig8a() []SuiteBench {
+	return []SuiteBench{
+		{"008.espresso", []float64{0.20, 0.45, 0.70}},
+		{"052.alvinn", []float64{0.05, 0.10}},
+		{"056.ear", []float64{0.08, 0.30}},
+		{"124.m88ksim", []float64{0.15, 0.40, 0.85}},
+		{"129.compress", []float64{0.90, 0.97}},
+		{"130.li", []float64{0.15, 0.35, 0.60}},
+		{"132.ijpeg", []float64{0.10, 0.55, 0.92}},
+		{"164.gzip", []float64{0.85, 0.95}},
+		{"175.vpr", []float64{0.10, 0.30}},
+		{"181.mcf", []float64{0.05, 0.25}},
+		{"186.crafty", []float64{0.45, 0.70, 0.90}},
+		{"254.gap", []float64{0.30, 0.55}},
+		{"255.vortex", []float64{0.12, 0.35, 0.60}},
+		{"256.bzip2", []float64{0.80, 0.95}},
+		{"300.twolf", []float64{0.10, 0.35}},
+		{"401.bzip2", []float64{0.80, 0.93}},
+		{"429.mcf", []float64{0.06, 0.25}},
+		{"456.hmmer", []float64{0.10, 0.60}},
+		{"458.sjeng", []float64{0.35, 0.65, 0.85}},
+	}
+}
+
+// Fig8b returns the Mediabench-and-others suite of Figure 8(b).
+func Fig8b() []SuiteBench {
+	return []SuiteBench{
+		{"adpcmdec", []float64{0.05}},
+		{"adpcmenc", []float64{0.06}},
+		{"epicdec", []float64{0.25, 0.60}},
+		{"epicenc", []float64{0.30, 0.65}},
+		{"g721dec", []float64{0.08, 0.30}},
+		{"g721enc", []float64{0.08, 0.35}},
+		{"grep", []float64{0.90}},
+		{"gsmenc", []float64{0.12, 0.40}},
+		{"jpegdec", []float64{0.15, 0.50, 0.90}},
+		{"jpegenc", []float64{0.15, 0.55, 0.90}},
+		{"ks", []float64{0.04, 0.20}},
+		{"mpeg2dec", []float64{0.20, 0.50, 0.85}},
+		{"mpeg2enc", []float64{0.20, 0.55, 0.85}},
+		{"em3d", []float64{0.03}},
+		{"mst", []float64{0.05, 0.30}},
+		{"tsp", []float64{0.10, 0.40}},
+		{"otter", []float64{0.10, 0.30, 0.55}},
+		{"pgpdec", []float64{0.70, 0.90}},
+		{"wc", []float64{0.95}},
+	}
+}
+
+// SuiteProgram generates the IR program for a suite benchmark: an outer
+// invocation loop that mutates all structures (one native hook), then
+// runs each traversal loop in sequence. Loop i's header block is named
+// xloopN so the harness can target exactly the traversal loops for
+// instrumentation.
+func SuiteProgram(nLoops int) *ir.Program {
+	var sb strings.Builder
+	sb.WriteString("func main(ninv")
+	for i := 0; i < nLoops; i++ {
+		fmt.Fprintf(&sb, ", head%d", i)
+	}
+	sb.WriteString(") {\nentry:\n  inv = const 0\n  chk = const 0\n  br outer\nouter:\n")
+	sb.WriteString("  oc = cmplt inv, ninv\n  cbr oc, mutate, done\nmutate:\n  call hook(1)\n  br xpre0\n")
+	for i := 0; i < nLoops; i++ {
+		next := fmt.Sprintf("xpre%d", i+1)
+		if i == nLoops-1 {
+			next = "postloops"
+		}
+		fmt.Fprintf(&sb, `xpre%d:
+  acc%d = const 0
+  c%d = load head%d, 0
+  br xloop%d
+xloop%d:
+  z%d = cmpeq c%d, 0
+  cbr z%d, xdone%d, xbody%d
+xbody%d:
+  w%d = load c%d, 0
+  acc%d = add acc%d, w%d
+  c%d = load c%d, 1
+  br xloop%d
+xdone%d:
+  chk = xor chk, acc%d
+  br %s
+`, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, next)
+	}
+	sb.WriteString("postloops:\n  inv = add inv, 1\n  br outer\ndone:\n  ret chk\n}\n")
+	return mustParseProgram("suite", sb.String())
+}
+
+// SuiteLoopHeaders returns the traversal-loop header names for a suite
+// program of nLoops loops.
+func SuiteLoopHeaders(nLoops int) []string {
+	out := make([]string, nLoops)
+	for i := range out {
+		out[i] = fmt.Sprintf("xloop%d", i)
+	}
+	return out
+}
+
+// suiteWorld is the native side of one suite benchmark: per loop, an
+// active node set drawn from a larger reserve pool.
+type suiteWorld struct {
+	m       *rt.Machine
+	rng     *rand.Rand
+	disturb []float64
+	heads   []int64
+	pools   []int64
+	active  [][]int64 // node addresses currently linked, per loop
+	reserve [][]int64
+}
+
+// SuiteInit builds the data structures for a suite benchmark and
+// registers its mutator hook. The returned args are the main-thread
+// arguments (ninv, head cells...).
+func SuiteInit(m *rt.Machine, bench SuiteBench, nodesPerLoop int64, invocations, seed int64) []int64 {
+	w := &suiteWorld{
+		m:       m,
+		rng:     rand.New(rand.NewSource(seed)),
+		disturb: bench.Disturb,
+	}
+	args := []int64{invocations}
+	for li := range bench.Disturb {
+		head := m.Mem.Alloc(1)
+		pool := m.Mem.Alloc(3 * nodesPerLoop * 2) // node: value, next; double for reserve
+		w.heads = append(w.heads, head)
+		w.pools = append(w.pools, pool)
+		var act, res []int64
+		for i := int64(0); i < 2*nodesPerLoop; i++ {
+			nd := pool + i*3
+			m.Mem.MustStore(nd+0, w.rng.Int63n(1_000_000))
+			if i < nodesPerLoop {
+				act = append(act, nd)
+			} else {
+				res = append(res, nd)
+			}
+		}
+		w.active = append(w.active, act)
+		w.reserve = append(w.reserve, res)
+		w.link(li)
+		args = append(args, head)
+		_ = li
+	}
+	m.Hooks[HookMutate] = func(*rt.Machine) { w.mutate() }
+	return args
+}
+
+func (w *suiteWorld) link(li int) {
+	act := w.active[li]
+	if len(act) == 0 {
+		w.m.Mem.MustStore(w.heads[li], 0)
+		return
+	}
+	w.m.Mem.MustStore(w.heads[li], act[0])
+	for i, nd := range act {
+		next := int64(0)
+		if i+1 < len(act) {
+			next = act[i+1]
+		}
+		w.m.Mem.MustStore(nd+1, next)
+	}
+}
+
+// mutate churns each loop's structure: with probability disturb[i] the
+// invocation replaces exactly 80% of the active set from the reserve
+// (live-in stream mostly new, f ≈ 0.2 < threshold); otherwise ~3%
+// (stream mostly repeats, f ≈ 0.97).
+func (w *suiteWorld) mutate() {
+	for li := range w.active {
+		frac := 0.03
+		if w.rng.Float64() < w.disturb[li] {
+			frac = 0.8
+		}
+		act, res := w.active[li], w.reserve[li]
+		n := int(frac * float64(len(act)))
+		perm := w.rng.Perm(len(act))
+		for k := 0; k < n && k < len(res); k++ {
+			ai := perm[k]
+			act[ai], res[k] = res[k], act[ai]
+		}
+		w.active[li], w.reserve[li] = act, res
+		w.link(li)
+	}
+}

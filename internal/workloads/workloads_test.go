@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"testing"
+
+	"spice/internal/core"
+	"spice/internal/rt"
+	"spice/internal/sim"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("benchmarks = %d, want 4 (Table 2)", len(all))
+	}
+	names := []string{"ks", "otter", "181.mcf", "458.sjeng"}
+	for i, want := range names {
+		if all[i].Name != want {
+			t.Errorf("benchmark %d = %s, want %s", i, all[i].Name, want)
+		}
+	}
+	if ByName("otter") == nil || ByName("nope") != nil {
+		t.Error("ByName broken")
+	}
+}
+
+// TestKernelsTransformable checks every Table 2 kernel parses, analyzes
+// and transforms with the expected speculated live-in width.
+func TestKernelsTransformable(t *testing.T) {
+	widths := map[string]int{"ks": 1, "otter": 1, "181.mcf": 1, "458.sjeng": 8}
+	for _, b := range All() {
+		prog := b.Program(b.Defaults)
+		tr, err := core.Transform(prog, core.Options{
+			Fn: "main", LoopHeader: b.LoopHeader, Threads: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if tr.SVAWidth != widths[b.Name] {
+			t.Errorf("%s: SVA width = %d, want %d (the paper notes sjeng has 8 live-ins)",
+				b.Name, tr.SVAWidth, widths[b.Name])
+		}
+		if len(tr.Workers) != 3 {
+			t.Errorf("%s: workers = %d", b.Name, len(tr.Workers))
+		}
+	}
+}
+
+func TestSjengReductionIsScoreOnly(t *testing.T) {
+	b := Sjeng()
+	prog := b.Program(b.Defaults)
+	a, err := core.Analyze(prog, core.Options{Fn: "main", LoopHeader: b.LoopHeader, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Reds) != 1 || a.Fn.RegName(a.Reds[0].Reg) != "score" {
+		t.Errorf("sjeng reductions = %v, want only the score sum", a.Reds)
+	}
+}
+
+func TestInitBuildsConsistentWorlds(t *testing.T) {
+	for _, b := range All() {
+		m, err := rt.New(sim.DefaultConfig(), 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := b.Defaults
+		p.Size = 50
+		inst := b.Init(m, p)
+		if len(inst.Args) == 0 {
+			t.Fatalf("%s: no args", b.Name)
+		}
+		if inst.Checksum == nil || len(inst.Checksum()) == 0 {
+			t.Fatalf("%s: no checksum", b.Name)
+		}
+		// Mutator hook must be registered and runnable repeatedly.
+		if m.Hooks[HookMutate] == nil {
+			t.Fatalf("%s: no mutator hook", b.Name)
+		}
+		for i := 0; i < 5; i++ {
+			m.Hooks[HookMutate](m)
+		}
+	}
+}
+
+func TestMutatorsPreserveListIntegrity(t *testing.T) {
+	for _, b := range All() {
+		m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+		p := b.Defaults
+		p.Size = 64
+		inst := b.Init(m, p)
+		head := inst.Args[0]
+		nextOff := int64(1)
+		if b.Name == "181.mcf" {
+			nextOff = 0
+		}
+		for i := 0; i < 20; i++ {
+			m.Hooks[HookMutate](m)
+			// Walk the list: must be finite and nil-terminated.
+			count := 0
+			for c := m.Mem.MustLoad(head); c != 0; c = m.Mem.MustLoad(c + nextOff) {
+				count++
+				if count > 100000 {
+					t.Fatalf("%s: cycle after mutation %d", b.Name, i)
+				}
+			}
+			if count == 0 && b.Name != "otter" {
+				t.Errorf("%s: empty list after mutation %d", b.Name, i)
+			}
+		}
+	}
+}
+
+func TestSuiteProgramGeneration(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		prog := SuiteProgram(n)
+		if prog.Func("main") == nil {
+			t.Fatalf("n=%d: no main", n)
+		}
+		headers := SuiteLoopHeaders(n)
+		if len(headers) != n {
+			t.Fatalf("headers = %v", headers)
+		}
+		for _, h := range headers {
+			if prog.Func("main").FindBlock(h) == nil {
+				t.Errorf("n=%d: missing block %s", n, h)
+			}
+		}
+	}
+}
+
+func TestSuitesCoverPaperBenchmarks(t *testing.T) {
+	if len(Fig8a()) != 19 {
+		t.Errorf("Fig8a has %d benchmarks, want 19", len(Fig8a()))
+	}
+	if len(Fig8b()) != 19 {
+		t.Errorf("Fig8b has %d benchmarks, want 19", len(Fig8b()))
+	}
+	for _, s := range append(Fig8a(), Fig8b()...) {
+		if len(s.Disturb) == 0 {
+			t.Errorf("%s has no loops", s.Name)
+		}
+		for _, d := range s.Disturb {
+			if d < 0 || d > 1 {
+				t.Errorf("%s: disturb %f out of range", s.Name, d)
+			}
+		}
+	}
+}
+
+func TestSuiteInitAndMutate(t *testing.T) {
+	m, _ := rt.New(sim.DefaultConfig(), 1, 1)
+	bench := SuiteBench{Name: "x", Disturb: []float64{0.0, 1.0}}
+	args := SuiteInit(m, bench, 30, 5, 9)
+	if len(args) != 3 { // ninv + 2 heads
+		t.Fatalf("args = %v", args)
+	}
+	// Collect membership before and after a disturb-all mutation.
+	members := func(head int64) map[int64]bool {
+		out := map[int64]bool{}
+		for c := m.Mem.MustLoad(head); c != 0; c = m.Mem.MustLoad(c + 1) {
+			out[c] = true
+			if len(out) > 1000 {
+				t.Fatal("cycle")
+			}
+		}
+		return out
+	}
+	before0, before1 := members(args[1]), members(args[2])
+	m.Hooks[HookMutate](m)
+	after0, after1 := members(args[1]), members(args[2])
+	overlap := func(a, b map[int64]bool) float64 {
+		n := 0
+		for v := range a {
+			if b[v] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(a))
+	}
+	if o := overlap(before0, after0); o < 0.9 {
+		t.Errorf("disturb=0 loop churned too much: overlap %.2f", o)
+	}
+	if o := overlap(before1, after1); o > 0.5 {
+		t.Errorf("disturb=1 loop churned too little: overlap %.2f", o)
+	}
+}

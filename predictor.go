@@ -1,0 +1,149 @@
+package spice
+
+// predictor is the native memoizing value predictor: it holds the
+// speculated chunk-start states for the next invocation (the SVA) and
+// plans, from each invocation's measured chunk lengths, where the next
+// invocation's memoizations should happen (Section 4 of the paper,
+// Algorithm 2 state plus the central planning component).
+type predictor[S comparable] struct {
+	threads     int
+	positional  bool
+	memoizeOnce bool
+
+	// rows[k] predicts thread k+1's start. pos is the global completed-
+	// iteration position at capture time (used by positional validation
+	// and for planning).
+	rows []row[S]
+	// plans[j] holds thread j's memoization entries for the upcoming
+	// invocation, ascending by local threshold.
+	plans [][]planEntry
+	// prevTotal is the last invocation's total trip count.
+	prevTotal int64
+	frozen    bool // memoizeOnce: rows are locked in
+}
+
+type row[S comparable] struct {
+	start S
+	pos   int64
+	valid bool
+}
+
+type planEntry struct {
+	local int64 // capture after this many local iterations
+	row   int
+}
+
+// proposal is one memoization produced during a chunk run.
+type proposal[S comparable] struct {
+	row   int
+	state S
+	local int64
+}
+
+func newPredictor[S comparable](threads int, positional, memoizeOnce bool) *predictor[S] {
+	return &predictor[S]{
+		threads:     threads,
+		positional:  positional,
+		memoizeOnce: memoizeOnce,
+		rows:        make([]row[S], threads-1),
+		plans:       make([][]planEntry, threads),
+	}
+}
+
+// havePredictions reports whether any chunk start is predicted.
+func (p *predictor[S]) havePredictions() bool {
+	for _, r := range p.rows {
+		if r.valid {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the current rows (the per-invocation read-only view;
+// updates go through apply, the native generation flip).
+func (p *predictor[S]) snapshot() []row[S] {
+	return append([]row[S](nil), p.rows...)
+}
+
+// planFor returns thread j's memoization entries.
+func (p *predictor[S]) planFor(j int) []planEntry {
+	if p.frozen {
+		return nil
+	}
+	return p.plans[j]
+}
+
+// specCap returns the runaway-traversal bound for speculative chunks.
+func (p *predictor[S]) specCap(override int64) int64 {
+	if override > 0 {
+		return override
+	}
+	if p.prevTotal > 0 {
+		return 4*p.prevTotal + 1024
+	}
+	return 1 << 20
+}
+
+// apply installs the surviving memoization proposals and plans the next
+// invocation. works holds committed per-chunk iteration counts (zero for
+// squashed or idle chunks); proposals must come from validated chunks
+// only, ordered by thread, so later (more-rebalanced) writes win.
+func (p *predictor[S]) apply(works []int64, proposals [][]proposal[S]) {
+	if p.memoizeOnce && p.frozen {
+		return
+	}
+	var total int64
+	prefix := make([]int64, len(works)+1)
+	for i, w := range works {
+		total += w
+		prefix[i+1] = prefix[i] + w
+	}
+
+	fresh := make([]row[S], len(p.rows))
+	for tid, props := range proposals {
+		for _, pr := range props {
+			if pr.row < 0 || pr.row >= len(fresh) {
+				continue
+			}
+			fresh[pr.row] = row[S]{
+				start: pr.state,
+				pos:   prefix[tid] + pr.local,
+				valid: true,
+			}
+		}
+	}
+	p.rows = fresh
+	p.prevTotal = total
+	if p.memoizeOnce && p.havePredictions() {
+		p.frozen = true
+	}
+
+	// Plan the next invocation: every running thread receives an entry
+	// for every boundary beyond its start (the self-healing suffix; see
+	// DESIGN.md). startsNext mirrors the freshly installed rows.
+	p.plans = make([][]planEntry, p.threads)
+	if total == 0 {
+		return
+	}
+	starts := make([]int64, p.threads)
+	for k := 1; k < p.threads; k++ {
+		if fresh[k-1].valid {
+			starts[k] = fresh[k-1].pos
+		} else {
+			starts[k] = -1
+		}
+	}
+	for k := 1; k < p.threads; k++ {
+		boundary := total * int64(k) / int64(p.threads)
+		if boundary <= 0 {
+			continue
+		}
+		for j := 0; j < p.threads; j++ {
+			if starts[j] < 0 || starts[j] >= boundary {
+				continue
+			}
+			p.plans[j] = append(p.plans[j], planEntry{local: boundary - starts[j], row: k - 1})
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package spice is a native Go implementation of Spice — speculative
+// parallel iteration chunk execution (Raman, Vachharajani, Rangan,
+// August; CGO 2008) — for loops that traverse pointer-based sequences
+// (linked lists, tree threads, work lists) that cannot be indexed or
+// split ahead of time.
+//
+// Spice parallelizes such a loop across goroutines by *value-predicting*
+// a handful of loop live-ins: the states at which each chunk of the
+// iteration space begins. The predictions are memoized from the previous
+// invocation of the loop, exploiting the paper's two insights:
+//
+//   - only threads−1 values need predicting per invocation, and
+//   - predicting that a state will appear *somewhere* in the traversal
+//     is far more reliable than predicting where: thread i validates
+//     thread i+1 simply by encountering thread i+1's predicted start
+//     during its own traversal.
+//
+// A Runner executes one loop invocation at a time. Each goroutine
+// accumulates into a private accumulator; validated accumulators are
+// merged in iteration order, so side effects belong in the accumulator
+// (apply them after Run returns), never in shared state. Mis-speculated
+// chunks are discarded and their iterations re-executed, so Run always
+// returns exactly the sequential result.
+//
+// The caller may mutate the traversed data structure freely *between*
+// invocations — that is the scenario Spice is designed for — but not
+// during Run.
+package spice
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Loop describes the traversal to parallelize, generic over the live-in
+// state S (e.g. a list-node pointer) and the accumulator A.
+//
+// The modelled loop is:
+//
+//	for s := start; !Done(s); s = Next(s) {
+//	    acc = Body(s, acc)
+//	}
+type Loop[S comparable, A any] struct {
+	// Done reports whether the traversal has ended (e.g. s == nil).
+	Done func(S) bool
+	// Next advances the live-in state by one iteration.
+	Next func(S) S
+	// Body processes one element, returning the updated accumulator.
+	// Body must not mutate shared state: it runs concurrently with
+	// other chunks' Body calls (collect side effects in A).
+	Body func(S, A) A
+	// Init returns the identity accumulator a fresh chunk starts from.
+	Init func() A
+	// Merge combines two partial accumulators; a is the accumulator for
+	// earlier iterations, b for later ones. Merge must be associative
+	// over the iteration order.
+	Merge func(a, b A) A
+}
+
+// validate checks that all callbacks are present.
+func (l *Loop[S, A]) validate() error {
+	if l.Done == nil || l.Next == nil || l.Body == nil || l.Init == nil || l.Merge == nil {
+		return errors.New("spice: Loop requires Done, Next, Body, Init and Merge")
+	}
+	return nil
+}
+
+// Config tunes a Runner.
+type Config struct {
+	// Threads is the number of chunks run concurrently (≥ 1).
+	Threads int
+	// MaxSpecIters caps a speculative chunk's iteration count, bounding
+	// runaway traversals of corrupted predictions (e.g. a start node
+	// that was unlinked into a cycle). Zero derives a safe cap from the
+	// previous invocation's trip count.
+	MaxSpecIters int64
+	// Positional switches the predictor to positional validation (the
+	// ablation of the paper's second insight): a predicted start is
+	// only accepted when it appears at exactly the memoized iteration
+	// index. Order-free membership validation (the default) tolerates
+	// insertions and deletions; positional validation does not.
+	Positional bool
+	// MemoizeOnce disables per-invocation re-memoization (the paper's
+	// strawman: memoize live-ins once and reuse them forever). The
+	// predictor cannot adapt once a memoized node leaves the structure.
+	MemoizeOnce bool
+}
+
+// Stats reports accumulated Runner behaviour.
+type Stats struct {
+	// Invocations counts Run calls.
+	Invocations int64
+	// MisspecInvocations counts invocations in which at least one
+	// speculative chunk was discarded.
+	MisspecInvocations int64
+	// SquashedIters counts discarded speculative iterations.
+	SquashedIters int64
+	// TailIters counts iterations re-executed sequentially after a
+	// squash or a capped valid chunk.
+	TailIters int64
+	// TotalIters counts committed iterations.
+	TotalIters int64
+	// LastWorks is the per-chunk committed iteration counts of the most
+	// recent invocation (zero for squashed or idle chunks).
+	LastWorks []int64
+}
+
+// Imbalance returns max/mean over the last invocation's non-zero chunk
+// works (1.0 = perfectly balanced).
+func (s Stats) Imbalance() float64 {
+	var sum, maxW int64
+	n := 0
+	for _, w := range s.LastWorks {
+		sum += w
+		if w > maxW {
+			maxW = w
+		}
+		n++
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return float64(maxW) / (float64(sum) / float64(n))
+}
+
+// ErrNoParallelism is returned by NewRunner for thread counts below 1.
+var ErrNoParallelism = errors.New("spice: Threads must be at least 1")
+
+// NewRunner builds a Runner for the loop.
+func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A], error) {
+	if err := loop.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Threads < 1 {
+		return nil, ErrNoParallelism
+	}
+	return &Runner[S, A]{
+		loop: loop,
+		cfg:  cfg,
+		pred: newPredictor[S](cfg.Threads, cfg.Positional, cfg.MemoizeOnce),
+	}, nil
+}
+
+// Runner executes invocations of a Spice-parallelized loop.
+type Runner[S comparable, A any] struct {
+	loop  Loop[S, A]
+	cfg   Config
+	pred  *predictor[S]
+	stats Stats
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner[S, A]) Stats() Stats {
+	s := r.stats
+	s.LastWorks = append([]int64(nil), r.stats.LastWorks...)
+	return s
+}
+
+// String describes the runner configuration.
+func (r *Runner[S, A]) String() string {
+	mode := "membership"
+	if r.cfg.Positional {
+		mode = "positional"
+	}
+	return fmt.Sprintf("spice.Runner{threads=%d, validation=%s}", r.cfg.Threads, mode)
+}

@@ -1,0 +1,361 @@
+package spice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// node is the test list element.
+type node struct {
+	weight int64
+	next   *node
+}
+
+// testList is a mutable linked list with deterministic churn.
+type testList struct {
+	head *node
+	rng  *rand.Rand
+	free []*node
+}
+
+func newTestList(n int, seed int64) *testList {
+	l := &testList{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < n; i++ {
+		l.head = &node{weight: l.rng.Int63n(1_000_000), next: l.head}
+	}
+	return l
+}
+
+func (l *testList) nodes() []*node {
+	var out []*node
+	for c := l.head; c != nil; c = c.next {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (l *testList) relink(ns []*node) {
+	l.head = nil
+	for i := len(ns) - 1; i >= 0; i-- {
+		ns[i].next = nil
+		if i+1 < len(ns) {
+			ns[i].next = ns[i+1]
+		}
+	}
+	if len(ns) > 0 {
+		l.head = ns[0]
+	} else {
+		l.head = nil
+	}
+}
+
+// churn removes the minimum node and reinserts it with a fresh weight at
+// a random position (the otter dynamics).
+func (l *testList) churn() {
+	ns := l.nodes()
+	if len(ns) == 0 {
+		return
+	}
+	minI := 0
+	for i, nd := range ns {
+		if nd.weight < ns[minI].weight {
+			minI = i
+		}
+	}
+	nd := ns[minI]
+	ns = append(ns[:minI], ns[minI+1:]...)
+	nd.weight = l.rng.Int63n(1_000_000)
+	pos := 0
+	if len(ns) > 0 {
+		pos = l.rng.Intn(len(ns) + 1)
+	}
+	ns = append(ns[:pos], append([]*node{nd}, ns[pos:]...)...)
+	l.relink(ns)
+}
+
+// heavyChurn replaces a large fraction of the membership.
+func (l *testList) heavyChurn(frac float64) {
+	ns := l.nodes()
+	n := int(frac * float64(len(ns)))
+	for k := 0; k < n && len(ns) > 0; k++ {
+		i := l.rng.Intn(len(ns))
+		ns[i] = &node{weight: l.rng.Int63n(1_000_000)}
+	}
+	l.relink(ns)
+}
+
+// sumAcc is the test accumulator: a sum plus an order-insensitive xor
+// fingerprint (merge must be associative over iteration order).
+type sumAcc struct {
+	sum int64
+	fp  int64
+}
+
+// For merge associativity the fingerprint must be order-insensitive per
+// merge; use xor in Body too.
+func xorLoop() Loop[*node, sumAcc] {
+	return Loop[*node, sumAcc]{
+		Done: func(n *node) bool { return n == nil },
+		Next: func(n *node) *node { return n.next },
+		Body: func(n *node, a sumAcc) sumAcc {
+			a.sum += n.weight
+			a.fp ^= n.weight * 2654435761
+			return a
+		},
+		Init:  func() sumAcc { return sumAcc{} },
+		Merge: func(a, b sumAcc) sumAcc { return sumAcc{a.sum + b.sum, a.fp ^ b.fp} },
+	}
+}
+
+func sequential(l Loop[*node, sumAcc], head *node) sumAcc {
+	acc := l.Init()
+	for s := head; !l.Done(s); s = l.Next(s) {
+		acc = l.Body(s, acc)
+	}
+	return acc
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Loop[*node, sumAcc]{}, Config{Threads: 2}); err == nil {
+		t.Error("empty loop accepted")
+	}
+	if _, err := NewRunner(xorLoop(), Config{Threads: 0}); err != ErrNoParallelism {
+		t.Error("zero threads accepted")
+	}
+	r, err := NewRunner(xorLoop(), Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSequentialEquivalenceStableList(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		l := newTestList(500, 42)
+		r, _ := NewRunner(xorLoop(), Config{Threads: threads})
+		for inv := 0; inv < 20; inv++ {
+			want := sequential(xorLoop(), l.head)
+			got := r.Run(l.head)
+			if got != want {
+				t.Fatalf("threads=%d inv=%d: got %+v want %+v", threads, inv, got, want)
+			}
+			l.churn()
+		}
+		st := r.Stats()
+		if st.Invocations != 20 {
+			t.Errorf("invocations = %d", st.Invocations)
+		}
+		if threads > 1 && st.MisspecInvocations > 4 {
+			t.Errorf("threads=%d: misspec %d/20 too high for mild churn",
+				threads, st.MisspecInvocations)
+		}
+	}
+}
+
+func TestParallelChunksActuallyUsed(t *testing.T) {
+	l := newTestList(800, 7)
+	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	for inv := 0; inv < 10; inv++ {
+		r.Run(l.head)
+		l.churn()
+	}
+	st := r.Stats()
+	nonzero := 0
+	for _, w := range st.LastWorks {
+		if w > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 4 {
+		t.Fatalf("last works = %v; want all four chunks active", st.LastWorks)
+	}
+	if imb := st.Imbalance(); imb > 1.3 {
+		t.Errorf("imbalance = %.2f; want near-balanced chunks", imb)
+	}
+}
+
+func TestHeavyChurnStillCorrect(t *testing.T) {
+	l := newTestList(300, 99)
+	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	for inv := 0; inv < 15; inv++ {
+		want := sequential(xorLoop(), l.head)
+		if got := r.Run(l.head); got != want {
+			t.Fatalf("inv %d: got %+v want %+v", inv, got, want)
+		}
+		l.heavyChurn(0.9)
+	}
+	if r.Stats().MisspecInvocations == 0 {
+		t.Error("heavy churn should cause mis-speculation")
+	}
+}
+
+func TestDanglingCycleRecovered(t *testing.T) {
+	// A predicted start node is unlinked into a self-cycle: the
+	// speculative chunk spins until the cap fires; the runner must
+	// still return the sequential result via squash or tail re-run.
+	l := newTestList(400, 3)
+	r, _ := NewRunner(xorLoop(), Config{Threads: 4, MaxSpecIters: 2000})
+	r.Run(l.head) // bootstrap
+	want1 := sequential(xorLoop(), l.head)
+	if got := r.Run(l.head); got != want1 {
+		t.Fatalf("pre-cycle: got %+v want %+v", got, want1)
+	}
+	// Unlink the middle ~half of nodes and make one of them a cycle;
+	// almost surely hits at least one predicted row.
+	ns := l.nodes()
+	mid := ns[len(ns)/2]
+	mid.next = mid // self-cycle off-list
+	l.relink(append(ns[:len(ns)/2], ns[3*len(ns)/4:]...))
+	want := sequential(xorLoop(), l.head)
+	if got := r.Run(l.head); got != want {
+		t.Fatalf("post-cycle: got %+v want %+v", got, want)
+	}
+	// And the invocation after recovers to parallel execution.
+	want = sequential(xorLoop(), l.head)
+	if got := r.Run(l.head); got != want {
+		t.Fatalf("recovery: got %+v want %+v", got, want)
+	}
+}
+
+func TestGrowingListTracksBoundaries(t *testing.T) {
+	l := newTestList(200, 5)
+	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	for inv := 0; inv < 30; inv++ {
+		want := sequential(xorLoop(), l.head)
+		if got := r.Run(l.head); got != want {
+			t.Fatalf("inv %d mismatch", inv)
+		}
+		// Grow ~5% per invocation at random positions.
+		ns := l.nodes()
+		for k := 0; k < len(ns)/20+2; k++ {
+			pos := l.rng.Intn(len(ns) + 1)
+			ns = append(ns[:pos], append([]*node{{weight: l.rng.Int63n(1_000_000)}}, ns[pos:]...)...)
+		}
+		l.relink(ns)
+	}
+	st := r.Stats()
+	if imb := st.Imbalance(); imb > 1.5 {
+		t.Errorf("final imbalance %.2f; boundaries failed to track growth (works %v)",
+			imb, st.LastWorks)
+	}
+}
+
+func TestMembershipBeatsPositionalUnderChurn(t *testing.T) {
+	run := func(positional bool) int64 {
+		l := newTestList(400, 11)
+		r, _ := NewRunner(xorLoop(), Config{Threads: 4, Positional: positional})
+		for inv := 0; inv < 25; inv++ {
+			want := sequential(xorLoop(), l.head)
+			if got := r.Run(l.head); got != want {
+				t.Fatalf("positional=%v inv=%d mismatch", positional, inv)
+			}
+			l.churn() // insertions/deletions shift positions
+		}
+		return r.Stats().MisspecInvocations
+	}
+	member := run(false)
+	positional := run(true)
+	if member >= positional {
+		t.Errorf("membership misspec %d !< positional misspec %d; "+
+			"the paper's second insight should show", member, positional)
+	}
+}
+
+func TestMemoizeOnceDegrades(t *testing.T) {
+	run := func(once bool) int64 {
+		l := newTestList(400, 17)
+		r, _ := NewRunner(xorLoop(), Config{Threads: 4, MemoizeOnce: once})
+		for inv := 0; inv < 30; inv++ {
+			want := sequential(xorLoop(), l.head)
+			if got := r.Run(l.head); got != want {
+				t.Fatalf("once=%v inv=%d mismatch", once, inv)
+			}
+			l.heavyChurn(0.15)
+		}
+		return r.Stats().MisspecInvocations
+	}
+	adaptive := run(false)
+	frozen := run(true)
+	if frozen <= adaptive {
+		t.Errorf("memoize-once misspec %d !> adaptive misspec %d; "+
+			"re-memoization should adapt (Section 4)", frozen, adaptive)
+	}
+}
+
+func TestEmptyAndTinyLists(t *testing.T) {
+	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	if got := r.Run(nil); got != (sumAcc{}) {
+		t.Errorf("empty list: %+v", got)
+	}
+	one := &node{weight: 5}
+	if got := r.Run(one); got.sum != 5 {
+		t.Errorf("one node: %+v", got)
+	}
+	l := newTestList(3, 1)
+	for inv := 0; inv < 5; inv++ {
+		want := sequential(xorLoop(), l.head)
+		if got := r.Run(l.head); got != want {
+			t.Fatalf("tiny inv %d mismatch", inv)
+		}
+		l.churn()
+	}
+}
+
+// TestQuickEquivalence is the property test: any mutation script applied
+// between invocations preserves sequential equivalence.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(seed int64, threads uint8) bool {
+		tc := int(threads%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		l := newTestList(int(rng.Int63n(300))+1, seed)
+		r, err := NewRunner(xorLoop(), Config{Threads: tc})
+		if err != nil {
+			return false
+		}
+		for inv := 0; inv < 8; inv++ {
+			want := sequential(xorLoop(), l.head)
+			if got := r.Run(l.head); got != want {
+				t.Logf("seed=%d threads=%d inv=%d: got %+v want %+v", seed, tc, inv, got, want)
+				return false
+			}
+			switch rng.Intn(4) {
+			case 0:
+				l.churn()
+			case 1:
+				l.heavyChurn(rng.Float64())
+			case 2: // shuffle
+				ns := l.nodes()
+				rng.Shuffle(len(ns), func(i, j int) { ns[i], ns[j] = ns[j], ns[i] })
+				l.relink(ns)
+			case 3: // truncate
+				ns := l.nodes()
+				if len(ns) > 1 {
+					l.relink(ns[:rng.Intn(len(ns))+1])
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsSnapshotIsolated(t *testing.T) {
+	l := newTestList(100, 2)
+	r, _ := NewRunner(xorLoop(), Config{Threads: 2})
+	r.Run(l.head)
+	st := r.Stats()
+	if len(st.LastWorks) > 0 {
+		st.LastWorks[0] = -99
+	}
+	if r.Stats().LastWorks[0] == -99 {
+		t.Error("Stats() must return a copy")
+	}
+	if (Stats{}).Imbalance() != 1 {
+		t.Error("empty imbalance should be 1")
+	}
+}
