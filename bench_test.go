@@ -11,7 +11,9 @@ package spice
 // For the exact paper-style tables: go run ./cmd/spicebench -all
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"spice/internal/harness"
@@ -262,6 +264,7 @@ func nativeChurnRun(b *testing.B, cfg Config, replaceFrac float64) int64 {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer r.Close()
 	for inv := 0; inv < 40; inv++ {
 		r.Run(head)
 		// Value churn.
@@ -388,12 +391,77 @@ func BenchmarkNativeRunner(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			r.Run(head) // bootstrap outside the timer
+			defer r.Close()
+			r.Run(head)      // bootstrap outside the timer
+			b.ReportAllocs() // steady-state path reuses all buffers: ~0 allocs/op
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r.Run(head)
 			}
 			b.ReportMetric(float64(r.Stats().MisspecInvocations), "misspec")
+		})
+	}
+}
+
+// BenchmarkPoolThroughput measures the concurrent front door: N
+// goroutines submit invocations over one shared 100k-element list
+// through one Pool — persistent workers, recycled runner states, no
+// goroutine spawned and (steady state) nothing allocated per
+// invocation.
+func BenchmarkPoolThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	type nd struct {
+		w    int64
+		next *nd
+	}
+	var head *nd
+	for i := 0; i < 100_000; i++ {
+		head = &nd{w: rng.Int63n(1 << 20), next: head}
+	}
+	loop := Loop[*nd, int64]{
+		Done:  func(n *nd) bool { return n == nil },
+		Next:  func(n *nd) *nd { return n.next },
+		Body:  func(n *nd, a int64) int64 { return a + n.w },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, c int64) int64 { return a + c },
+	}
+	for _, subs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("submitters_%d", subs), func(b *testing.B) {
+			p, err := NewPool(loop, PoolConfig{Config: Config{Threads: 4}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			// Warm one runner per submitter outside the timer.
+			var warm sync.WaitGroup
+			for g := 0; g < subs; g++ {
+				warm.Add(1)
+				go func() {
+					defer warm.Done()
+					p.Run(head)
+					p.Run(head)
+				}()
+			}
+			warm.Wait()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < subs; g++ {
+				n := b.N / subs
+				if g < b.N%subs {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						p.Run(head)
+					}
+				}(n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(p.Runners()), "runners")
 		})
 	}
 }

@@ -6,14 +6,26 @@
 // Usage:
 //
 //	spicerun -bench otter -threads 4 [-stats] [-scheme paper]
+//
+// With -pool, spicerun instead drives the native runtime's concurrent
+// front door: -concurrent submitter goroutines each stream invocations
+// of a churning linked-list workload through one spice.Pool (persistent
+// shared workers), reporting aggregate throughput and runtime counters:
+//
+//	spicerun -pool -concurrent 8 -threads 4 -size 100000 -invocations 200
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sync"
+	"time"
 
+	"spice"
 	"spice/internal/harness"
+	"spice/internal/poolbench"
 	"spice/internal/rt"
 	"spice/internal/stats"
 	"spice/internal/workloads"
@@ -27,7 +39,15 @@ func main() {
 	scheme := flag.String("scheme", "balanced", "plan scheme: balanced or paper")
 	size := flag.Int64("size", 0, "data structure size override")
 	invocations := flag.Int64("invocations", 0, "invocation count override")
+	pool := flag.Bool("pool", false, "drive the native runtime's concurrent Pool instead of the simulator")
+	concurrent := flag.Int("concurrent", 8, "submitter goroutines for -pool")
+	workers := flag.Int("workers", 0, "persistent workers for -pool (0 = default)")
 	flag.Parse()
+
+	if *pool {
+		runPool(*concurrent, *threads, *workers, *size, *invocations)
+		return
+	}
 
 	b := workloads.ByName(*bench)
 	if b == nil {
@@ -82,4 +102,64 @@ func main() {
 			fmt.Printf("  inv %3d: %v (imbalance %.2f)\n", i, w, stats.Imbalance(w))
 		}
 	}
+}
+
+// runPool drives `concurrent` submitter goroutines, each owning a
+// churning linked list and a Pool session, through one shared executor.
+func runPool(concurrent, threads, workers int, size, invocations int64) {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if size <= 0 {
+		size = 100_000
+	}
+	if invocations <= 0 {
+		invocations = 200
+	}
+	p, err := spice.NewPool(poolbench.Loop(), spice.PoolConfig{
+		Config:  spice.Config{Threads: threads},
+		Workers: workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spicerun: %v\n", err)
+		os.Exit(1)
+	}
+	defer p.Close()
+
+	fmt.Printf("native pool: %d submitters x %d invocations, %d-element lists, "+
+		"%d chunks/invocation, %d shared workers\n",
+		concurrent, invocations, size, threads, p.Workers())
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < concurrent; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := p.Session()
+			defer s.Close()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			head, all := poolbench.BuildList(rng, size)
+			for inv := int64(0); inv < invocations; inv++ {
+				s.Run(head)
+				// Value churn between invocations (the Spice scenario).
+				for k := 0; k < 32; k++ {
+					all[rng.Intn(len(all))].W = rng.Int63n(1 << 20)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := p.Stats()
+	total := float64(st.Invocations)
+	fmt.Printf("  wall time:        %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput:       %.0f invocations/s (%.1fM iters/s)\n",
+		total/elapsed.Seconds(), float64(st.TotalIters)/elapsed.Seconds()/1e6)
+	fmt.Printf("  runner states:    %d (high-water concurrent submissions)\n", p.Runners())
+	fmt.Printf("  misspec:          %.1f%% of invocations\n",
+		100*float64(st.MisspecInvocations)/total)
+	fmt.Printf("  recovery rounds:  %d (%d parallel chunks)\n", st.Recoveries, st.RecoveryChunks)
+	fmt.Printf("  last works:       %v\n", st.LastWorks)
 }

@@ -102,6 +102,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer r.Close()
 
 	fmt.Println("find_lightest_cl over a churning 50k-clause list:")
 	for inv := 0; inv < 12; inv++ {

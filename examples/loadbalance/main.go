@@ -45,6 +45,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer r.Close()
 
 	fmt.Println("chunk boundaries converge from the bootstrap split and track growth:")
 	fmt.Println("(each row: per-chunk iteration counts; invocation 0 is the sequential bootstrap)")

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"spice"
 )
@@ -63,9 +64,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer runner.Close() // releases the runner's persistent workers
 
 	// Invocation 1 runs sequentially and memoizes chunk starts;
-	// invocation 2 onward runs four speculative chunks concurrently.
+	// invocation 2 onward runs four speculative chunks concurrently on
+	// the runner's persistent worker pool.
 	for inv := 0; inv < 5; inv++ {
 		res := runner.Run(head)
 		fmt.Printf("invocation %d: min weight %d (chunk works %v)\n",
@@ -78,4 +81,28 @@ func main() {
 	st := runner.Stats()
 	fmt.Printf("\n%d invocations, %d mis-speculated, imbalance %.2f\n",
 		st.Invocations, st.MisspecInvocations, st.Imbalance())
+
+	// Concurrent front door: many goroutines query the same list at once
+	// through one Pool — each submission gets its own runner state, all
+	// sharing one fixed set of workers. Mutate only while nothing is in
+	// flight.
+	pool, err := spice.NewPool(loop, spice.PoolConfig{Config: spice.Config{Threads: 4}})
+	if err != nil {
+		panic(err)
+	}
+	defer pool.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				pool.Run(head)
+			}
+		}()
+	}
+	wg.Wait()
+	pst := pool.Stats()
+	fmt.Printf("pool: %d concurrent invocations on %d runner states, %d workers\n",
+		pst.Invocations, pool.Runners(), pool.Workers())
 }

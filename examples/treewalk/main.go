@@ -88,6 +88,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer r.Close()
 
 	for inv := 0; inv < 8; inv++ {
 		res := r.Run(head)

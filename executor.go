@@ -1,0 +1,63 @@
+package spice
+
+import "sync"
+
+// This file is the executor layer: a fixed pool of long-lived worker
+// goroutines fed over a channel. Runners submit chunk jobs here instead
+// of spawning goroutines per invocation; a Pool shares one Executor
+// across every runner it manages, so concurrent invocations multiplex
+// onto the same workers.
+
+// task is one unit of work. Jobs are preallocated structs (see
+// chunkJob), so submitting them allocates nothing.
+type task interface {
+	run()
+}
+
+// Executor runs submitted tasks on a fixed set of persistent worker
+// goroutines. The zero value is not usable; construct with NewExecutor.
+// Submission and Close may not race: close an Executor only after every
+// runner using it has finished its last Run.
+type Executor struct {
+	tasks   chan task
+	workers int
+	done    sync.WaitGroup
+	once    sync.Once
+}
+
+// NewExecutor starts an executor with the given number of workers
+// (minimum 1). Workers live until Close.
+func NewExecutor(workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Executor{
+		tasks:   make(chan task, 2*workers),
+		workers: workers,
+	}
+	e.done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer e.done.Done()
+			for t := range e.tasks {
+				t.run()
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the fixed worker count.
+func (e *Executor) Workers() int { return e.workers }
+
+// submit enqueues a task; it blocks while the queue is full. Tasks never
+// block on other tasks (chunk jobs are independent), so a single worker
+// already guarantees progress.
+func (e *Executor) submit(t task) { e.tasks <- t }
+
+// Close stops the workers after the queue drains and waits for them to
+// exit. Close is idempotent; submitting after Close panics.
+func (e *Executor) Close() {
+	e.once.Do(func() { close(e.tasks) })
+	e.done.Wait()
+}

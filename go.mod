@@ -1,0 +1,3 @@
+module spice
+
+go 1.24

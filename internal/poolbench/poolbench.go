@@ -1,0 +1,42 @@
+// Package poolbench holds the linked-list workload the native pool
+// demos (cmd/spicerun -pool, cmd/spicebench -pool) drive through
+// spice.Pool, so the two commands measure the same thing. (The root
+// package's own benchmarks re-declare the workload locally: an
+// in-package test file cannot import a package that imports spice
+// without creating an import cycle.)
+package poolbench
+
+import (
+	"math/rand"
+
+	"spice"
+)
+
+// Node is one element of the traversed list.
+type Node struct {
+	W    int64
+	Next *Node
+}
+
+// Loop returns the summation loop over Node lists.
+func Loop() spice.Loop[*Node, int64] {
+	return spice.Loop[*Node, int64]{
+		Done:  func(n *Node) bool { return n == nil },
+		Next:  func(n *Node) *Node { return n.Next },
+		Body:  func(n *Node, a int64) int64 { return a + n.W },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, b int64) int64 { return a + b },
+	}
+}
+
+// BuildList returns the head of an n-element list with rng-drawn
+// weights, plus every node for between-invocation churn.
+func BuildList(rng *rand.Rand, n int64) (*Node, []*Node) {
+	var head *Node
+	all := make([]*Node, 0, n)
+	for i := int64(0); i < n; i++ {
+		head = &Node{W: rng.Int63n(1 << 20), Next: head}
+		all = append(all, head)
+	}
+	return head, all
+}

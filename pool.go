@@ -1,0 +1,186 @@
+package spice
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the concurrent front door of the native library: a Pool
+// accepts invocations from many goroutines at once. Each in-flight
+// invocation is served by its own runner (so predictor state is never
+// shared across concurrent invocations), and every runner submits its
+// chunks to one shared executor — a fixed set of long-lived workers, no
+// goroutine spawned per invocation. Runners are recycled through a
+// free list, so a steady submitter keeps hitting warm predictor state
+// and preallocated scheduler buffers.
+
+// PoolConfig tunes a Pool.
+type PoolConfig struct {
+	// Config applies to every runner the pool creates. Config.Executor
+	// must be nil: the pool owns its executor.
+	Config
+	// Workers is the number of persistent executor workers shared by all
+	// invocations. Zero defaults to max(Threads, GOMAXPROCS).
+	Workers int
+}
+
+// Pool executes Spice invocations submitted concurrently by multiple
+// goroutines. Run, Stats, Runners and Workers are safe for concurrent
+// use; Close must only be called once no Run is in flight.
+type Pool[S comparable, A any] struct {
+	loop Loop[S, A]
+	cfg  Config // with Executor set to the pool's executor
+	exec *Executor
+
+	mu     sync.Mutex
+	idle   []*Runner[S, A]
+	all    []*Runner[S, A]
+	last   *Runner[S, A] // most recently released runner (for LastWorks)
+	closed bool
+}
+
+// NewPool builds a Pool for the loop.
+func NewPool[S comparable, A any](loop Loop[S, A], cfg PoolConfig) (*Pool[S, A], error) {
+	if err := loop.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Threads < 1 {
+		return nil, ErrNoParallelism
+	}
+	if cfg.Config.Executor != nil {
+		return nil, errPoolExecutor
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if cfg.Threads > workers {
+			workers = cfg.Threads
+		}
+	}
+	p := &Pool[S, A]{loop: loop, cfg: cfg.Config, exec: NewExecutor(workers)}
+	p.cfg.Executor = p.exec
+	return p, nil
+}
+
+// Run executes one invocation of the loop from start and returns the
+// merged accumulator — always exactly the sequential result. Safe for
+// concurrent use: each in-flight invocation gets its own runner, all
+// multiplexed onto the pool's workers.
+//
+// Run recycles runners — and therefore memoized node predictions —
+// across submitters, so it is meant for many goroutines traversing one
+// shared structure. The structure must not be mutated while any
+// submission is in flight (a recycled prediction may make a speculative
+// chunk read it from another submission). Callers that each own a
+// private, independently mutated structure should use Session instead.
+func (p *Pool[S, A]) Run(start S) A {
+	r := p.acquire()
+	defer p.release(r) // even if a loop callback panics and the caller recovers
+	return r.Run(start)
+}
+
+// Session pins a runner to one caller and one data structure. The
+// runner's predictor is reset on the way in and on the way out, so a
+// session's speculative chunks only ever traverse the session's own
+// structure — other submitters can mutate theirs concurrently (between
+// their own Runs, as usual). A Session is not safe for concurrent use;
+// open one per goroutine.
+type Session[S comparable, A any] struct {
+	p *Pool[S, A]
+	r *Runner[S, A]
+}
+
+// Session opens a session backed by the pool's shared workers.
+func (p *Pool[S, A]) Session() *Session[S, A] {
+	r := p.acquire()
+	r.pred.reset()
+	return &Session[S, A]{p: p, r: r}
+}
+
+// Run executes one invocation through the session's private runner.
+func (s *Session[S, A]) Run(start S) A { return s.r.Run(start) }
+
+// Stats returns the session runner's counters.
+func (s *Session[S, A]) Stats() Stats { return s.r.Stats() }
+
+// Close returns the runner to the pool. The session must not be used
+// afterwards; Close is idempotent.
+func (s *Session[S, A]) Close() {
+	if s.r == nil {
+		return
+	}
+	s.r.pred.reset()
+	s.p.release(s.r)
+	s.r = nil
+}
+
+// acquire pops an idle runner or creates one.
+func (p *Pool[S, A]) acquire() *Runner[S, A] {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("spice: Run on closed Pool")
+	}
+	if n := len(p.idle); n > 0 {
+		r := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return r
+	}
+	p.mu.Unlock()
+	// NewRunner cannot fail here: the loop and config were validated by
+	// NewPool.
+	r, err := NewRunner(p.loop, p.cfg)
+	if err != nil {
+		panic("spice: " + err.Error())
+	}
+	p.mu.Lock()
+	p.all = append(p.all, r)
+	p.mu.Unlock()
+	return r
+}
+
+// release returns a runner to the free list.
+func (p *Pool[S, A]) release(r *Runner[S, A]) {
+	p.mu.Lock()
+	p.idle = append(p.idle, r)
+	p.last = r
+	p.mu.Unlock()
+}
+
+// Stats aggregates the counters of every runner the pool has created.
+// LastWorks reports the most recently completed invocation's per-chunk
+// works. Safe to call while invocations run.
+func (p *Pool[S, A]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s Stats
+	for _, r := range p.all {
+		r.stats.addInto(&s)
+	}
+	if p.last != nil {
+		last := p.last.Stats()
+		s.LastWorks = last.LastWorks
+	}
+	return s
+}
+
+// Runners returns the number of runner states the pool has created —
+// the high-water mark of concurrent submissions.
+func (p *Pool[S, A]) Runners() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.all)
+}
+
+// Workers returns the size of the shared executor.
+func (p *Pool[S, A]) Workers() int { return p.exec.Workers() }
+
+// Close releases the pool's workers. It must not race with Run; it is
+// idempotent.
+func (p *Pool[S, A]) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.exec.Close()
+}

@@ -1,43 +1,83 @@
 package spice
 
-// predictor is the native memoizing value predictor: it holds the
-// speculated chunk-start states for the next invocation (the SVA) and
-// plans, from each invocation's measured chunk lengths, where the next
-// invocation's memoizations should happen (Section 4 of the paper,
-// Algorithm 2 state plus the central planning component).
-type predictor[S comparable] struct {
-	threads     int
-	positional  bool
-	memoizeOnce bool
+// This file is the predictor layer: the memoizing value-predictor state
+// of Section 4 (the SVA rows holding speculated chunk-start states) plus
+// the central planning component that decides, from each invocation's
+// measured chunk lengths, where the next invocation's memoizations
+// should happen.
+//
+// Planning follows the BalancedChunks scheme (see
+// internal/rt/balancer.go for the simulator counterpart): boundaries are
+// computed in global work coordinates and every running chunk receives a
+// plan entry for every boundary beyond its own start. In the common case
+// a chunk stops at its successor's predicted start right after firing
+// its first entry; the remaining entries fire only when the chunk
+// overruns because a later chunk mis-speculated — re-memoizing the
+// squashed rows at their correct positions (self-healing). The same
+// scheme, anchored at an exact global position, replans the remainder
+// during parallel squash recovery (recovery.go).
+//
+// All per-invocation state lives in reusable buffers: the steady-state
+// snapshot/apply cycle performs no allocations.
 
-	// rows[k] predicts thread k+1's start. pos is the global completed-
-	// iteration position at capture time (used by positional validation
-	// and for planning).
-	rows []row[S]
-	// plans[j] holds thread j's memoization entries for the upcoming
-	// invocation, ascending by local threshold.
-	plans [][]planEntry
-	// prevTotal is the last invocation's total trip count.
-	prevTotal int64
-	frozen    bool // memoizeOnce: rows are locked in
-}
-
+// row is one SVA entry: rows[k] predicts chunk k+1's start. pos is the
+// global completed-iteration position at capture time (used by
+// positional validation and for planning).
 type row[S comparable] struct {
 	start S
 	pos   int64
 	valid bool
 }
 
+// planEntry tells a chunk to capture its live-in state after `local`
+// completed local iterations, targeting SVA row `row`.
 type planEntry struct {
-	local int64 // capture after this many local iterations
+	local int64
 	row   int
 }
 
-// proposal is one memoization produced during a chunk run.
+// proposal is one memoization produced during a chunk run, in
+// chunk-local coordinates (the chunk's global base is only known once
+// the validation chain resolves).
 type proposal[S comparable] struct {
 	row   int
 	state S
 	local int64
+}
+
+// memo is a resolved proposal in global work coordinates — the form the
+// predictor consumes. The scheduler converts committed chunks' proposals
+// using measured prefix sums; recovery chunks emit memos from exactly
+// known positions.
+type memo[S comparable] struct {
+	row   int
+	state S
+	pos   int64
+}
+
+// predictor holds the SVA rows and the planning state for one runner.
+// It is confined to the runner's invocation cycle: snapshot/planFor are
+// read during a Run, apply mutates between Runs. A Pool gives every
+// in-flight invocation its own runner (and therefore predictor), so no
+// internal locking is needed.
+type predictor[S comparable] struct {
+	threads     int
+	positional  bool
+	memoizeOnce bool
+
+	rows []row[S]
+	// plans[j] holds chunk j's memoization entries for the upcoming
+	// invocation, ascending by local threshold.
+	plans [][]planEntry
+	// prevTotal is the last invocation's total committed trip count —
+	// the planning total for the current invocation's boundaries.
+	prevTotal int64
+	frozen    bool // memoizeOnce: rows are locked in
+
+	// Reusable buffers (no steady-state allocation).
+	rowsBuf  []row[S] // snapshot handed to the scheduler
+	scratch  []row[S] // next-generation rows built during apply
+	startsBf []int64  // per-chunk predicted starts during replanning
 }
 
 func newPredictor[S comparable](threads int, positional, memoizeOnce bool) *predictor[S] {
@@ -46,8 +86,24 @@ func newPredictor[S comparable](threads int, positional, memoizeOnce bool) *pred
 		positional:  positional,
 		memoizeOnce: memoizeOnce,
 		rows:        make([]row[S], threads-1),
+		scratch:     make([]row[S], threads-1),
 		plans:       make([][]planEntry, threads),
+		startsBf:    make([]int64, threads),
 	}
+}
+
+// reset drops all memoized state: rows, plans, and the planning total.
+// Pools reset a runner's predictor when it moves between sessions, so
+// predictions never dangle into another session's data structure.
+func (p *predictor[S]) reset() {
+	for i := range p.rows {
+		p.rows[i] = row[S]{}
+	}
+	for j := range p.plans {
+		p.plans[j] = p.plans[j][:0]
+	}
+	p.prevTotal = 0
+	p.frozen = false
 }
 
 // havePredictions reports whether any chunk start is predicted.
@@ -60,18 +116,39 @@ func (p *predictor[S]) havePredictions() bool {
 	return false
 }
 
-// snapshot returns the current rows (the per-invocation read-only view;
-// updates go through apply, the native generation flip).
+// snapshot copies the current rows into the reusable per-invocation
+// view. The returned slice is owned by the predictor and stays stable
+// until the next snapshot call; updates go through apply.
 func (p *predictor[S]) snapshot() []row[S] {
-	return append([]row[S](nil), p.rows...)
+	p.rowsBuf = append(p.rowsBuf[:0], p.rows...)
+	return p.rowsBuf
 }
 
-// planFor returns thread j's memoization entries.
+// planFor returns chunk j's memoization entries.
 func (p *predictor[S]) planFor(j int) []planEntry {
 	if p.frozen {
 		return nil
 	}
 	return p.plans[j]
+}
+
+// planFromPosition appends BalancedChunks plan entries for a recovery
+// chunk whose global start position is (predicted to be) pos: one entry
+// per remaining boundary of the current plan, at a threshold relative to
+// pos. The recovery chunks thereby re-memoize squashed rows while
+// finishing the remainder, keeping the next invocation's split balanced.
+func (p *predictor[S]) planFromPosition(pos int64, buf []planEntry) []planEntry {
+	if p.frozen || p.prevTotal <= 0 {
+		return buf
+	}
+	for k := 1; k < p.threads; k++ {
+		boundary := p.prevTotal * int64(k) / int64(p.threads)
+		if boundary <= 0 || boundary <= pos {
+			continue
+		}
+		buf = append(buf, planEntry{local: boundary - pos, row: k - 1})
+	}
+	return buf
 }
 
 // specCap returns the runaway-traversal bound for speculative chunks.
@@ -85,51 +162,47 @@ func (p *predictor[S]) specCap(override int64) int64 {
 	return 1 << 20
 }
 
-// apply installs the surviving memoization proposals and plans the next
-// invocation. works holds committed per-chunk iteration counts (zero for
-// squashed or idle chunks); proposals must come from validated chunks
-// only, ordered by thread, so later (more-rebalanced) writes win.
-func (p *predictor[S]) apply(works []int64, proposals [][]proposal[S]) {
+// apply installs the surviving memoizations and plans the next
+// invocation. total is the invocation's committed trip count; memos are
+// ordered by commit position, so later (more-rebalanced, e.g. recovery)
+// writes win.
+func (p *predictor[S]) apply(total int64, memos []memo[S]) {
 	if p.memoizeOnce && p.frozen {
 		return
 	}
-	var total int64
-	prefix := make([]int64, len(works)+1)
-	for i, w := range works {
-		total += w
-		prefix[i+1] = prefix[i] + w
+	fresh := p.scratch
+	for i := range fresh {
+		fresh[i] = row[S]{}
 	}
-
-	fresh := make([]row[S], len(p.rows))
-	for tid, props := range proposals {
-		for _, pr := range props {
-			if pr.row < 0 || pr.row >= len(fresh) {
-				continue
-			}
-			fresh[pr.row] = row[S]{
-				start: pr.state,
-				pos:   prefix[tid] + pr.local,
-				valid: true,
-			}
+	for _, m := range memos {
+		if m.row < 0 || m.row >= len(fresh) {
+			continue
 		}
+		fresh[m.row] = row[S]{start: m.state, pos: m.pos, valid: true}
 	}
-	p.rows = fresh
+	p.rows, p.scratch = fresh, p.rows
 	p.prevTotal = total
 	if p.memoizeOnce && p.havePredictions() {
 		p.frozen = true
 	}
+	p.replan(total)
+}
 
-	// Plan the next invocation: every running thread receives an entry
-	// for every boundary beyond its start (the self-healing suffix; see
-	// DESIGN.md). startsNext mirrors the freshly installed rows.
-	p.plans = make([][]planEntry, p.threads)
+// replan installs the next invocation's memoization plan (BalancedChunks
+// over the freshly installed rows): every chunk receives an entry for
+// every boundary beyond its predicted start.
+func (p *predictor[S]) replan(total int64) {
+	for j := range p.plans {
+		p.plans[j] = p.plans[j][:0]
+	}
 	if total == 0 {
 		return
 	}
-	starts := make([]int64, p.threads)
+	starts := p.startsBf
+	starts[0] = 0
 	for k := 1; k < p.threads; k++ {
-		if fresh[k-1].valid {
-			starts[k] = fresh[k-1].pos
+		if p.rows[k-1].valid {
+			starts[k] = p.rows[k-1].pos
 		} else {
 			starts[k] = -1
 		}

@@ -1,0 +1,128 @@
+package spice
+
+// This file is the parallel squash-recovery path, the native port of the
+// simulator's remote-resteer mechanism (internal/rt): when the
+// validation chain breaks on a capped chunk, the remainder of the
+// traversal is NOT serialized onto one goroutine (the old runTail).
+// Instead the idle/squashed workers are re-seeded: one chunk resumes
+// from the breaking chunk's live position, and one speculative chunk
+// starts from each remaining predicted row, chain-validated exactly like
+// a primary invocation. Recovery chunks carry BalancedChunks plan
+// entries anchored at their global positions, so the predictor
+// re-memoizes along the way and the next invocation's split stays
+// balanced.
+
+// recoverParallel finishes the region left by a capped valid chunk.
+// start is the breaking chunk's live stop state, globalPos its exact
+// global iteration position, brokenRow the SVA row the breaking chunk
+// was hunting, rows the invocation's prediction snapshot. It returns the
+// merged remainder accumulator, the iterations committed, and whether
+// any recovery chunk was squashed. Memoizations are appended to the
+// scheduler's memo buffer at exact global positions; squash and
+// recovery counters are updated on the runner's stats directly.
+func (r *Runner[S, A]) recoverParallel(start S, globalPos int64, brokenRow int, rows []row[S]) (A, int64, bool) {
+	s := r.sched
+	cap64 := r.pred.specCap(r.cfg.MaxSpecIters)
+	acc := r.loop.Init()
+	haveAcc := false
+	var recWork int64
+	misspec := false
+	cur := start
+	next := brokenRow // first candidate row for this round
+
+	for {
+		r.stats.recoveries.Add(1)
+
+		// Remaining predicted starts, in row order. The broken row is
+		// retried once here: the breaking chunk may simply have capped
+		// before reaching it.
+		cands := s.candBuf[:0]
+		for k := next; k >= 0 && k < len(rows); k++ {
+			if rows[k].valid {
+				cands = append(cands, k)
+			}
+		}
+		s.candBuf = cands
+		n := 1 + len(cands) // chunk 0 resumes from the live position
+
+		// Replan each chunk from its (predicted) global position; chunk
+		// 0's position is exact. Only balance depends on the prediction —
+		// correctness comes from the validation chain.
+		for len(s.recPlans) < n {
+			s.recPlans = append(s.recPlans, nil)
+		}
+		for i := 0; i < n; i++ {
+			base := globalPos
+			if i > 0 {
+				if p := rows[cands[i-1]].pos; p > base {
+					base = p
+				}
+			}
+			s.recPlans[i] = r.pred.planFromPosition(base, s.recPlans[i][:0])
+		}
+
+		// Dispatch: chunk 0 from the live state (no cap — its start is
+		// architecturally correct), chunk i>0 speculatively from
+		// candidate row i-1, each hunting the next candidate.
+		for i := 0; i < n; i++ {
+			st := cur
+			posBase := globalPos
+			if i > 0 {
+				st = rows[cands[i-1]].start
+				posBase = rows[cands[i-1]].pos
+			}
+			ownRow := -1
+			var snap *row[S]
+			if i < len(cands) {
+				snap = &rows[cands[i]]
+				ownRow = cands[i]
+			}
+			s.jobs[i].reset(r, st, snap, ownRow, i > 0, s.recPlans[i], posBase, cap64)
+			s.wg.Add(1)
+			r.exec.submit(&s.jobs[i])
+		}
+		s.wg.Wait()
+
+		// Resolve the round's chain: commit the valid prefix at exact
+		// global positions, squash the rest.
+		broke := 0
+		for i := 0; i < n; i++ {
+			res := &s.results[i]
+			if haveAcc {
+				acc = r.loop.Merge(acc, res.acc)
+			} else {
+				acc = res.acc
+				haveAcc = true
+			}
+			for _, pr := range res.props {
+				s.memos = append(s.memos, memo[S]{row: pr.row, state: pr.state, pos: globalPos + pr.local})
+			}
+			globalPos += res.work
+			recWork += res.work
+			r.stats.recoveryChunks.Add(1)
+			broke = i
+			if !res.matched {
+				break
+			}
+		}
+		for i := broke + 1; i < n; i++ {
+			r.stats.squashedIters.Add(s.results[i].work)
+			misspec = true
+		}
+
+		res := &s.results[broke]
+		if !res.capped {
+			return acc, recWork, misspec // reached the end of the traversal
+		}
+		// Capped again: next round resumes from the new live position.
+		// The row this chunk was hunting had its retry; drop it. Each
+		// continuing round commits at least cap iterations, so recovery
+		// terminates on any finite traversal.
+		cur = res.endState
+		if broke < len(cands) {
+			next = cands[broke] + 1
+		} else {
+			next = len(rows)
+		}
+	}
+}

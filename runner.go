@@ -1,192 +1,108 @@
 package spice
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
-// chunkResult is one goroutine's outcome.
-type chunkResult[S comparable, A any] struct {
-	acc      A
-	work     int64 // committed iterations (started count)
-	matched  bool  // stopped by encountering successor's predicted start
-	capped   bool  // hit the speculative iteration cap
-	props    []proposal[S]
-	endState S // state at stop (valid only when capped)
+// Runner executes invocations of a Spice-parallelized loop. It composes
+// the three runtime layers: the predictor (memoized chunk starts and
+// planning), the scheduler (dispatch, validation chain, commit/squash),
+// and the executor (persistent workers).
+//
+// A Runner executes one invocation at a time: Run must not be called
+// concurrently on the same Runner (it panics if it is). For concurrent
+// submissions use a Pool, which multiplexes per-invocation runners onto
+// one shared executor. Stats is safe to call at any time, including
+// while Run executes.
+type Runner[S comparable, A any] struct {
+	loop     Loop[S, A]
+	cfg      Config
+	pred     *predictor[S]
+	sched    *scheduler[S, A]
+	exec     *Executor
+	ownsExec bool
+	running  atomic.Bool
+	stats    runnerStats
+}
+
+// runnerStats holds the atomically updated counters behind Stats.
+type runnerStats struct {
+	invocations        atomic.Int64
+	misspecInvocations atomic.Int64
+	squashedIters      atomic.Int64
+	tailIters          atomic.Int64
+	totalIters         atomic.Int64
+	recoveries         atomic.Int64
+	recoveryChunks     atomic.Int64
+
+	mu        sync.Mutex
+	lastWorks []int64
+}
+
+// setLastWorks records the most recent invocation's per-chunk works.
+func (st *runnerStats) setLastWorks(w []int64) {
+	st.mu.Lock()
+	st.lastWorks = append(st.lastWorks[:0], w...)
+	st.mu.Unlock()
+}
+
+// addInto accumulates the counters into a Stats value.
+func (st *runnerStats) addInto(s *Stats) {
+	s.Invocations += st.invocations.Load()
+	s.MisspecInvocations += st.misspecInvocations.Load()
+	s.SquashedIters += st.squashedIters.Load()
+	s.TailIters += st.tailIters.Load()
+	s.TotalIters += st.totalIters.Load()
+	s.Recoveries += st.recoveries.Load()
+	s.RecoveryChunks += st.recoveryChunks.Load()
+}
+
+// snapshot returns a consistent copy of the counters.
+func (st *runnerStats) snapshot() Stats {
+	var s Stats
+	st.addInto(&s)
+	st.mu.Lock()
+	s.LastWorks = append([]int64(nil), st.lastWorks...)
+	st.mu.Unlock()
+	return s
 }
 
 // Run executes one invocation of the loop from start and returns the
 // merged accumulator — always exactly the sequential result.
 func (r *Runner[S, A]) Run(start S) A {
-	r.stats.Invocations++
-	rows := r.pred.snapshot()
-	t := r.cfg.Threads
-
-	if t == 1 || !r.pred.havePredictions() {
+	if !r.running.CompareAndSwap(false, true) {
+		panic("spice: concurrent Run on a single Runner (wrap the loop in a Pool)")
+	}
+	defer r.running.Store(false)
+	r.stats.invocations.Add(1)
+	if r.cfg.Threads == 1 || !r.pred.havePredictions() {
 		return r.runSequential(start)
 	}
-
-	results := make([]*chunkResult[S, A], t)
-	var wg sync.WaitGroup
-	for j := 0; j < t; j++ {
-		startState := start
-		ok := true
-		if j > 0 {
-			if rows[j-1].valid {
-				startState = rows[j-1].start
-			} else {
-				ok = false
-			}
-		}
-		if !ok {
-			continue // idle chunk: its region is covered by a predecessor
-		}
-		var snap *row[S]
-		if j < t-1 && rows[j].valid {
-			snap = &rows[j]
-		}
-		wg.Add(1)
-		go func(j int, s S, snap *row[S]) {
-			defer wg.Done()
-			results[j] = r.runChunk(j, s, snap, j > 0)
-		}(j, startState, snap)
-	}
-	wg.Wait()
-
-	// Validation chain: thread j+1 is validated by thread j stopping on
-	// a match. The prefix up to the first non-matching thread commits;
-	// everything after is squashed.
-	works := make([]int64, t)
-	proposals := make([][]proposal[S], t)
-	acc := r.loop.Init()
-	committed := false
-	var tail *chunkResult[S, A]
-	f := 0
-	for j := 0; j < t; j++ {
-		res := results[j]
-		if res == nil { // idle
-			f = j
-			break
-		}
-		if committed {
-			acc = r.loop.Merge(acc, res.acc)
-		} else {
-			acc = res.acc
-			committed = true
-		}
-		works[j] = res.work
-		proposals[j] = res.props
-		r.stats.TotalIters += res.work
-		f = j
-		if !res.matched {
-			tail = res
-			break
-		}
-		if j == t-1 {
-			tail = nil
-		}
-	}
-	// Squash everything after the chain break.
-	misspec := false
-	for j := f + 1; j < t; j++ {
-		if results[j] != nil {
-			r.stats.SquashedIters += results[j].work
-			misspec = true
-		}
-	}
-	if misspec {
-		r.stats.MisspecInvocations++
-	}
-	// A capped valid chunk stopped early: finish its region
-	// sequentially (non-speculative tail).
-	if tail != nil && tail.capped {
-		tailAcc, tailWork, tailProps := r.runTail(tail.endState, works[:f+1], proposals)
-		acc = r.loop.Merge(acc, tailAcc)
-		works[f] += tailWork
-		proposals[f] = append(proposals[f], tailProps...)
-		r.stats.TailIters += tailWork
-		r.stats.TotalIters += tailWork
-	}
-
-	r.pred.apply(works, proposals)
-	r.stats.LastWorks = works
-	return acc
+	return r.sched.run(r, start, r.pred.snapshot())
 }
 
-// runChunk executes one chunk: the paper's per-thread loop with
-// work counting, threshold-driven memoization, and mis-speculation
-// detection against the successor's predicted start.
-func (r *Runner[S, A]) runChunk(j int, s S, snap *row[S], speculative bool) *chunkResult[S, A] {
-	res := &chunkResult[S, A]{acc: r.loop.Init()}
-	plan := r.pred.planFor(j)
-	cap64 := r.pred.specCap(r.cfg.MaxSpecIters)
-	cursor := 0
-	ownDone := false
+// Stats returns a snapshot of the runner's counters. Safe to call
+// concurrently with Run.
+func (r *Runner[S, A]) Stats() Stats { return r.stats.snapshot() }
 
-	var work int64
-	for !r.loop.Done(s) {
-		work++ // started iterations, counted at iteration head
-		// Memoization (Algorithm 2): capture live-ins when the work
-		// counter passes the head threshold.
-		if cursor < len(plan) && work > plan[cursor].local {
-			res.props = append(res.props, proposal[S]{
-				row: plan[cursor].row, state: s, local: work - 1,
-			})
-			if plan[cursor].row == j {
-				ownDone = true
-			}
-			cursor++
-		}
-		// Detection: stop when the successor's predicted start appears.
-		if snap != nil && s == snap.start &&
-			(!r.cfg.Positional || r.positionMatches(j, work, snap.pos)) {
-			res.matched = true
-			// Backstop: persist the validated successor start when this
-			// thread's own pending entry targets its own row (see the
-			// compiler transformation's spice.backstop).
-			if !ownDone && cursor < len(plan) && plan[cursor].row == j {
-				res.props = append(res.props, proposal[S]{row: j, state: s, local: work - 1})
-			}
-			break
-		}
-		res.acc = r.loop.Body(s, res.acc)
-		s = r.loop.Next(s)
-		if speculative && work >= cap64 {
-			res.capped = true
-			res.endState = s
-			break
-		}
+// Close releases the runner's executor workers when the runner owns
+// them (a runner built with Config.Executor leaves the shared executor
+// alone). Run must not be called after Close. Close is idempotent.
+func (r *Runner[S, A]) Close() {
+	if r.ownsExec {
+		r.exec.Close()
 	}
-	res.work = work
-	if !res.matched && !res.capped {
-		// Natural exit: the final Done check counted as a started
-		// iteration; report completed ones.
-		res.work = work
-	}
-	if res.matched {
-		res.work = work - 1 // the matching peek iteration did no work
-	}
-	return res
 }
 
-// positionMatches implements positional validation (the ablation):
-// thread j's global position is its predicted start position plus local
-// progress; a match only counts at the exact memoized index.
-func (r *Runner[S, A]) positionMatches(j int, work int64, rowPos int64) bool {
-	var base int64
-	if j > 0 {
-		base = r.pred.rows[j-1].pos
+// String describes the runner configuration.
+func (r *Runner[S, A]) String() string {
+	mode := "membership"
+	if r.cfg.Positional {
+		mode = "positional"
 	}
-	return base+work-1 == rowPos
-}
-
-// runTail sequentially finishes the region left by a capped valid chunk.
-func (r *Runner[S, A]) runTail(s S, _ []int64, _ [][]proposal[S]) (A, int64, []proposal[S]) {
-	acc := r.loop.Init()
-	var work int64
-	for !r.loop.Done(s) {
-		acc = r.loop.Body(s, acc)
-		s = r.loop.Next(s)
-		work++
-	}
-	return acc, work, nil
+	return fmt.Sprintf("spice.Runner{threads=%d, validation=%s}", r.cfg.Threads, mode)
 }
 
 // runSequential executes the loop on the calling goroutine, sampling
@@ -199,31 +115,36 @@ func (r *Runner[S, A]) runSequential(start S) A {
 		pos   int64
 	}
 	var cands []cand
+	sample := r.cfg.Threads > 1
 	next := int64(1)
 	var work int64
 	for s := start; !r.loop.Done(s); s = r.loop.Next(s) {
-		if work == next {
+		if sample && work == next {
 			cands = append(cands, cand{s, work})
 			next *= 2
 		}
 		acc = r.loop.Body(s, acc)
 		work++
 	}
-	r.stats.TotalIters += work
-	works := make([]int64, r.cfg.Threads)
+	r.stats.totalIters.Add(work)
+	works := r.sched.works
+	for i := range works {
+		works[i] = 0
+	}
 	works[0] = work
-	r.stats.LastWorks = works
+	r.stats.setLastWorks(works)
 
-	// Promote the candidates nearest each chunk boundary.
-	proposals := make([][]proposal[S], r.cfg.Threads)
+	// Promote the candidates nearest each chunk boundary. Chosen
+	// positions must increase by row: a row behind its predecessor would
+	// start a chunk inside an earlier chunk.
+	memos := r.sched.memos[:0]
 	if work > 0 && r.cfg.Threads > 1 {
-		used := make(map[int]bool)
-		lastPos := int64(0) // candidate positions must increase by row
+		lastPos := int64(0)
 		for k := 1; k < r.cfg.Threads; k++ {
 			boundary := work * int64(k) / int64(r.cfg.Threads)
 			best, bestDist := -1, int64(-1)
 			for ci, c := range cands {
-				if used[ci] || c.pos <= lastPos {
+				if c.pos <= lastPos {
 					continue
 				}
 				d := c.pos - boundary
@@ -237,13 +158,13 @@ func (r *Runner[S, A]) runSequential(start S) A {
 			if best == -1 {
 				continue
 			}
-			used[best] = true
+			// lastPos also consumes the candidate: positions are strictly
+			// increasing, so the pos > lastPos filter never re-selects it.
 			lastPos = cands[best].pos
-			proposals[0] = append(proposals[0], proposal[S]{
-				row: k - 1, state: cands[best].state, local: cands[best].pos,
-			})
+			memos = append(memos, memo[S]{row: k - 1, state: cands[best].state, pos: cands[best].pos})
 		}
 	}
-	r.pred.apply(works, proposals)
+	r.sched.memos = memos
+	r.pred.apply(work, memos)
 	return acc
 }

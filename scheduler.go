@@ -1,0 +1,250 @@
+package spice
+
+import "sync"
+
+// This file is the scheduler layer: chunk planning, the validation
+// chain, and commit/squash bookkeeping, extracted from the former
+// monolithic Runner.Run. The scheduler owns every per-invocation buffer
+// (chunk results, jobs, works, memos) and reuses them across
+// invocations, so the steady-state parallel path allocates nothing.
+
+// chunkResult is one chunk's outcome.
+type chunkResult[S comparable, A any] struct {
+	acc      A
+	work     int64 // committed iterations (started count)
+	matched  bool  // stopped by encountering successor's predicted start
+	capped   bool  // hit the speculative iteration cap
+	props    []proposal[S]
+	endState S    // state at stop (valid only when capped)
+	active   bool // chunk was dispatched this round
+}
+
+// chunkJob is a preallocated executor task: one chunk of one invocation.
+// res and wg are wired once at scheduler construction; the remaining
+// fields are reset per dispatch.
+type chunkJob[S comparable, A any] struct {
+	r       *Runner[S, A]
+	res     *chunkResult[S, A]
+	wg      *sync.WaitGroup
+	start   S
+	snap    *row[S] // successor's predicted start (nil: run to the end)
+	ownRow  int     // SVA row this chunk's own backstop targets (-1: none)
+	spec    bool    // start is predicted: iteration cap applies
+	plan    []planEntry
+	posBase int64 // predicted global start position (positional validation)
+	cap     int64 // speculative iteration cap
+}
+
+// reset arms the job and its result buffer for one dispatch.
+func (j *chunkJob[S, A]) reset(r *Runner[S, A], start S, snap *row[S],
+	ownRow int, spec bool, plan []planEntry, posBase, cap64 int64) {
+	j.r = r
+	j.start = start
+	j.snap = snap
+	j.ownRow = ownRow
+	j.spec = spec
+	j.plan = plan
+	j.posBase = posBase
+	j.cap = cap64
+	res := j.res
+	var zero S
+	res.work = 0
+	res.matched = false
+	res.capped = false
+	res.props = res.props[:0]
+	res.endState = zero
+	res.active = true
+}
+
+// run executes one chunk: the paper's per-thread loop with work
+// counting, threshold-driven memoization, and mis-speculation detection
+// against the successor's predicted start.
+func (j *chunkJob[S, A]) run() {
+	defer j.wg.Done()
+	r := j.r
+	res := j.res
+	res.acc = r.loop.Init()
+	plan := j.plan
+	cursor := 0
+	ownDone := false
+	s := j.start
+
+	var work int64
+	for !r.loop.Done(s) {
+		work++ // started iterations, counted at iteration head
+		// Memoization (Algorithm 2): capture live-ins when the work
+		// counter passes the head threshold.
+		if cursor < len(plan) && work > plan[cursor].local {
+			res.props = append(res.props, proposal[S]{
+				row: plan[cursor].row, state: s, local: work - 1,
+			})
+			if plan[cursor].row == j.ownRow {
+				ownDone = true
+			}
+			cursor++
+		}
+		// Detection: stop when the successor's predicted start appears.
+		// Positional validation (the ablation) additionally requires the
+		// match at the exact memoized global index.
+		if j.snap != nil && s == j.snap.start &&
+			(!r.cfg.Positional || j.posBase+work-1 == j.snap.pos) {
+			res.matched = true
+			// Backstop: persist the validated successor start when this
+			// chunk's own pending entry targets its own row (see the
+			// compiler transformation's spice.backstop).
+			if !ownDone && cursor < len(plan) && plan[cursor].row == j.ownRow {
+				res.props = append(res.props, proposal[S]{row: j.ownRow, state: s, local: work - 1})
+			}
+			break
+		}
+		res.acc = r.loop.Body(s, res.acc)
+		s = r.loop.Next(s)
+		if j.spec && work >= j.cap {
+			res.capped = true
+			res.endState = s
+			break
+		}
+	}
+	res.work = work
+	if res.matched {
+		res.work = work - 1 // the matching peek iteration did no work
+	}
+}
+
+// scheduler holds one runner's reusable invocation state. It is used by
+// at most one invocation at a time (the runner serializes; a Pool hands
+// each in-flight invocation its own runner).
+type scheduler[S comparable, A any] struct {
+	threads  int
+	results  []chunkResult[S, A]
+	jobs     []chunkJob[S, A]
+	works    []int64
+	memos    []memo[S]
+	candBuf  []int         // recovery candidate row indices
+	recPlans [][]planEntry // recovery per-chunk plan buffers
+	wg       sync.WaitGroup
+}
+
+func newScheduler[S comparable, A any](threads int) *scheduler[S, A] {
+	s := &scheduler[S, A]{
+		threads: threads,
+		results: make([]chunkResult[S, A], threads),
+		jobs:    make([]chunkJob[S, A], threads),
+		works:   make([]int64, threads),
+	}
+	for j := range s.jobs {
+		s.jobs[j].res = &s.results[j]
+		s.jobs[j].wg = &s.wg
+	}
+	return s
+}
+
+// run executes one parallel invocation: dispatch one chunk per predicted
+// start onto the executor, resolve the validation chain, commit the
+// valid prefix, squash the rest, and recover any capped remainder in
+// parallel.
+func (s *scheduler[S, A]) run(r *Runner[S, A], start S, rows []row[S]) A {
+	t := s.threads
+	cap64 := r.pred.specCap(r.cfg.MaxSpecIters)
+
+	// --- Dispatch ----------------------------------------------------
+	for j := 0; j < t; j++ {
+		s.works[j] = 0
+		s.results[j].active = false
+	}
+	for j := 0; j < t; j++ {
+		startState := start
+		var posBase int64
+		if j > 0 {
+			if !rows[j-1].valid {
+				continue // idle chunk: its region is covered by a predecessor
+			}
+			startState = rows[j-1].start
+			posBase = rows[j-1].pos
+		}
+		var snap *row[S]
+		if j < t-1 && rows[j].valid {
+			snap = &rows[j]
+		}
+		s.jobs[j].reset(r, startState, snap, j, j > 0, r.pred.planFor(j), posBase, cap64)
+		s.wg.Add(1)
+		r.exec.submit(&s.jobs[j])
+	}
+	s.wg.Wait()
+
+	// --- Validation chain --------------------------------------------
+	// Chunk j+1 is validated by chunk j stopping on a match. The prefix
+	// up to the first non-matching chunk commits; everything after is
+	// squashed.
+	acc := r.loop.Init()
+	committed := false
+	ncommit := 0
+	f := 0
+	needRecovery := false
+	var tailEnd S
+	for j := 0; j < t; j++ {
+		res := &s.results[j]
+		if !res.active { // idle
+			f = j
+			break
+		}
+		if committed {
+			acc = r.loop.Merge(acc, res.acc)
+		} else {
+			acc = res.acc
+			committed = true
+		}
+		s.works[j] = res.work
+		ncommit = j + 1
+		f = j
+		if !res.matched {
+			// A capped valid chunk stopped early: its region remains.
+			needRecovery = res.capped
+			tailEnd = res.endState
+			break
+		}
+	}
+
+	// --- Squash ------------------------------------------------------
+	var squashed int64
+	misspec := false
+	for j := f + 1; j < t; j++ {
+		if s.results[j].active {
+			squashed += s.results[j].work
+			misspec = true
+		}
+	}
+
+	// --- Commit memoizations (global coordinates) --------------------
+	s.memos = s.memos[:0]
+	var prefix int64
+	for j := 0; j < ncommit; j++ {
+		for _, pr := range s.results[j].props {
+			s.memos = append(s.memos, memo[S]{row: pr.row, state: pr.state, pos: prefix + pr.local})
+		}
+		prefix += s.works[j]
+	}
+	totalWork := prefix
+
+	// --- Parallel squash recovery ------------------------------------
+	if needRecovery {
+		recAcc, recWork, recMisspec := r.recoverParallel(tailEnd, totalWork, f, rows)
+		acc = r.loop.Merge(acc, recAcc)
+		s.works[f] += recWork
+		totalWork += recWork
+		misspec = misspec || recMisspec
+		r.stats.tailIters.Add(recWork)
+	}
+
+	// --- Bookkeeping -------------------------------------------------
+	r.stats.totalIters.Add(totalWork)
+	if squashed > 0 {
+		r.stats.squashedIters.Add(squashed)
+	}
+	if misspec {
+		r.stats.misspecInvocations.Add(1)
+	}
+	r.pred.apply(totalWork, s.memos)
+	r.stats.setLastWorks(s.works)
+	return acc
+}

@@ -15,22 +15,33 @@
 //     thread i+1 simply by encountering thread i+1's predicted start
 //     during its own traversal.
 //
-// A Runner executes one loop invocation at a time. Each goroutine
+// The runtime is layered (see README.md):
+//
+//   - predictor: the memoized chunk-start states (SVA) and the
+//     BalancedChunks planner deciding where the next invocation
+//     memoizes.
+//   - scheduler: per-invocation chunk dispatch, the validation chain,
+//     commit/squash bookkeeping, and parallel squash recovery.
+//   - executor: a fixed pool of persistent worker goroutines fed over
+//     channels; no goroutine is spawned per invocation.
+//
+// A Runner executes one loop invocation at a time. Each chunk
 // accumulates into a private accumulator; validated accumulators are
 // merged in iteration order, so side effects belong in the accumulator
 // (apply them after Run returns), never in shared state. Mis-speculated
 // chunks are discarded and their iterations re-executed, so Run always
 // returns exactly the sequential result.
 //
+// A Pool is the concurrent front door: many goroutines submit
+// invocations simultaneously, each served by its own runner state, all
+// sharing one executor's workers.
+//
 // The caller may mutate the traversed data structure freely *between*
 // invocations — that is the scenario Spice is designed for — but not
 // during Run.
 package spice
 
-import (
-	"errors"
-	"fmt"
-)
+import "errors"
 
 // Loop describes the traversal to parallelize, generic over the live-in
 // state S (e.g. a list-node pointer) and the accumulator A.
@@ -84,9 +95,15 @@ type Config struct {
 	// strawman: memoize live-ins once and reuse them forever). The
 	// predictor cannot adapt once a memoized node leaves the structure.
 	MemoizeOnce bool
+	// Executor, when non-nil, is a shared worker pool the runner submits
+	// its chunks to; the caller owns its lifecycle. When nil, the runner
+	// starts (and Close releases) a private executor of Threads workers.
+	Executor *Executor
 }
 
-// Stats reports accumulated Runner behaviour.
+// Stats reports accumulated Runner (or aggregated Pool) behaviour. All
+// counters are updated atomically; snapshots are safe to take while
+// invocations run.
 type Stats struct {
 	// Invocations counts Run calls.
 	Invocations int64
@@ -95,11 +112,18 @@ type Stats struct {
 	MisspecInvocations int64
 	// SquashedIters counts discarded speculative iterations.
 	SquashedIters int64
-	// TailIters counts iterations re-executed sequentially after a
-	// squash or a capped valid chunk.
+	// TailIters counts iterations committed outside the primary parallel
+	// chunks, i.e. by recovery after a capped valid chunk.
 	TailIters int64
 	// TotalIters counts committed iterations.
 	TotalIters int64
+	// Recoveries counts parallel squash-recovery rounds: after a
+	// validation-chain break on a capped chunk, the remainder is
+	// re-planned onto fresh parallel chunks instead of running on one
+	// goroutine.
+	Recoveries int64
+	// RecoveryChunks counts chunks committed by recovery rounds.
+	RecoveryChunks int64
 	// LastWorks is the per-chunk committed iteration counts of the most
 	// recent invocation (zero for squashed or idle chunks).
 	LastWorks []int64
@@ -126,7 +150,13 @@ func (s Stats) Imbalance() float64 {
 // ErrNoParallelism is returned by NewRunner for thread counts below 1.
 var ErrNoParallelism = errors.New("spice: Threads must be at least 1")
 
-// NewRunner builds a Runner for the loop.
+// errPoolExecutor is returned by NewPool when the embedded Config names
+// an external executor.
+var errPoolExecutor = errors.New("spice: PoolConfig must not set Config.Executor (the pool owns its executor)")
+
+// NewRunner builds a Runner for the loop. Unless cfg.Executor is set,
+// the runner starts a private executor of Threads persistent workers;
+// call Close to release them.
 func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A], error) {
 	if err := loop.validate(); err != nil {
 		return nil, err
@@ -134,33 +164,19 @@ func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A],
 	if cfg.Threads < 1 {
 		return nil, ErrNoParallelism
 	}
-	return &Runner[S, A]{
-		loop: loop,
-		cfg:  cfg,
-		pred: newPredictor[S](cfg.Threads, cfg.Positional, cfg.MemoizeOnce),
-	}, nil
-}
-
-// Runner executes invocations of a Spice-parallelized loop.
-type Runner[S comparable, A any] struct {
-	loop  Loop[S, A]
-	cfg   Config
-	pred  *predictor[S]
-	stats Stats
-}
-
-// Stats returns a snapshot of the runner's counters.
-func (r *Runner[S, A]) Stats() Stats {
-	s := r.stats
-	s.LastWorks = append([]int64(nil), r.stats.LastWorks...)
-	return s
-}
-
-// String describes the runner configuration.
-func (r *Runner[S, A]) String() string {
-	mode := "membership"
-	if r.cfg.Positional {
-		mode = "positional"
+	r := &Runner[S, A]{
+		loop:  loop,
+		cfg:   cfg,
+		pred:  newPredictor[S](cfg.Threads, cfg.Positional, cfg.MemoizeOnce),
+		sched: newScheduler[S, A](cfg.Threads),
 	}
-	return fmt.Sprintf("spice.Runner{threads=%d, validation=%s}", r.cfg.Threads, mode)
+	if cfg.Threads > 1 {
+		if cfg.Executor != nil {
+			r.exec = cfg.Executor
+		} else {
+			r.exec = NewExecutor(cfg.Threads)
+			r.ownsExec = true
+		}
+	}
+	return r, nil
 }

@@ -127,6 +127,7 @@ func TestNewRunnerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer r.Close()
 	if r.String() == "" {
 		t.Error("empty String()")
 	}
@@ -136,6 +137,7 @@ func TestSequentialEquivalenceStableList(t *testing.T) {
 	for _, threads := range []int{1, 2, 4, 8} {
 		l := newTestList(500, 42)
 		r, _ := NewRunner(xorLoop(), Config{Threads: threads})
+		defer r.Close()
 		for inv := 0; inv < 20; inv++ {
 			want := sequential(xorLoop(), l.head)
 			got := r.Run(l.head)
@@ -158,6 +160,7 @@ func TestSequentialEquivalenceStableList(t *testing.T) {
 func TestParallelChunksActuallyUsed(t *testing.T) {
 	l := newTestList(800, 7)
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	defer r.Close()
 	for inv := 0; inv < 10; inv++ {
 		r.Run(l.head)
 		l.churn()
@@ -180,6 +183,7 @@ func TestParallelChunksActuallyUsed(t *testing.T) {
 func TestHeavyChurnStillCorrect(t *testing.T) {
 	l := newTestList(300, 99)
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	defer r.Close()
 	for inv := 0; inv < 15; inv++ {
 		want := sequential(xorLoop(), l.head)
 		if got := r.Run(l.head); got != want {
@@ -198,6 +202,7 @@ func TestDanglingCycleRecovered(t *testing.T) {
 	// still return the sequential result via squash or tail re-run.
 	l := newTestList(400, 3)
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4, MaxSpecIters: 2000})
+	defer r.Close()
 	r.Run(l.head) // bootstrap
 	want1 := sequential(xorLoop(), l.head)
 	if got := r.Run(l.head); got != want1 {
@@ -223,6 +228,7 @@ func TestDanglingCycleRecovered(t *testing.T) {
 func TestGrowingListTracksBoundaries(t *testing.T) {
 	l := newTestList(200, 5)
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	defer r.Close()
 	for inv := 0; inv < 30; inv++ {
 		want := sequential(xorLoop(), l.head)
 		if got := r.Run(l.head); got != want {
@@ -247,6 +253,7 @@ func TestMembershipBeatsPositionalUnderChurn(t *testing.T) {
 	run := func(positional bool) int64 {
 		l := newTestList(400, 11)
 		r, _ := NewRunner(xorLoop(), Config{Threads: 4, Positional: positional})
+		defer r.Close()
 		for inv := 0; inv < 25; inv++ {
 			want := sequential(xorLoop(), l.head)
 			if got := r.Run(l.head); got != want {
@@ -268,6 +275,7 @@ func TestMemoizeOnceDegrades(t *testing.T) {
 	run := func(once bool) int64 {
 		l := newTestList(400, 17)
 		r, _ := NewRunner(xorLoop(), Config{Threads: 4, MemoizeOnce: once})
+		defer r.Close()
 		for inv := 0; inv < 30; inv++ {
 			want := sequential(xorLoop(), l.head)
 			if got := r.Run(l.head); got != want {
@@ -287,6 +295,7 @@ func TestMemoizeOnceDegrades(t *testing.T) {
 
 func TestEmptyAndTinyLists(t *testing.T) {
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
+	defer r.Close()
 	if got := r.Run(nil); got != (sumAcc{}) {
 		t.Errorf("empty list: %+v", got)
 	}
@@ -315,6 +324,7 @@ func TestQuickEquivalence(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		defer r.Close()
 		for inv := 0; inv < 8; inv++ {
 			want := sequential(xorLoop(), l.head)
 			if got := r.Run(l.head); got != want {
@@ -347,6 +357,7 @@ func TestQuickEquivalence(t *testing.T) {
 func TestStatsSnapshotIsolated(t *testing.T) {
 	l := newTestList(100, 2)
 	r, _ := NewRunner(xorLoop(), Config{Threads: 2})
+	defer r.Close()
 	r.Run(l.head)
 	st := r.Stats()
 	if len(st.LastWorks) > 0 {
