@@ -11,6 +11,7 @@ package spice
 // For the exact paper-style tables: go run ./cmd/spicebench -all
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -266,7 +267,7 @@ func nativeChurnRun(b *testing.B, cfg Config, replaceFrac float64) int64 {
 	}
 	defer r.Close()
 	for inv := 0; inv < 40; inv++ {
-		r.Run(head)
+		r.MustRun(head)
 		// Value churn.
 		for k := 0; k < 200; k++ {
 			all[rng.Intn(len(all))].w = rng.Int63n(1 << 20)
@@ -392,11 +393,14 @@ func BenchmarkNativeRunner(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer r.Close()
-			r.Run(head)      // bootstrap outside the timer
+			ctx := context.Background()
+			r.MustRun(head)  // bootstrap outside the timer
 			b.ReportAllocs() // steady-state path reuses all buffers: ~0 allocs/op
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r.Run(head)
+				if _, err := r.Run(ctx, head); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(r.Stats().MisspecInvocations), "misspec")
 		})
@@ -433,13 +437,14 @@ func BenchmarkPoolThroughput(b *testing.B) {
 			}
 			defer p.Close()
 			// Warm one runner per submitter outside the timer.
+			ctx := context.Background()
 			var warm sync.WaitGroup
 			for g := 0; g < subs; g++ {
 				warm.Add(1)
 				go func() {
 					defer warm.Done()
-					p.Run(head)
-					p.Run(head)
+					p.MustRun(head)
+					p.MustRun(head)
 				}()
 			}
 			warm.Wait()
@@ -455,7 +460,10 @@ func BenchmarkPoolThroughput(b *testing.B) {
 				go func(n int) {
 					defer wg.Done()
 					for i := 0; i < n; i++ {
-						p.Run(head)
+						if _, err := p.Run(ctx, head); err != nil {
+							b.Error(err)
+							return
+						}
 					}
 				}(n)
 			}

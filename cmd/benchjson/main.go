@@ -1,0 +1,127 @@
+// Benchjson converts `go test -bench -benchmem` output on stdin into a
+// JSON array of {name, ns_per_op, b_per_op, allocs_per_op} records —
+// the format CI archives as BENCH_pool.json so the perf trajectory of
+// the native runtime accumulates across commits.
+//
+// With -gate REGEX, benchjson additionally enforces the steady-state
+// allocation budget: it exits non-zero if any benchmark whose name
+// matches REGEX reports allocs/op above -max-allocs (default 0). The
+// pool hot path is contractually allocation-free; a regression here is
+// a build failure, not a graph wiggle.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkPool -benchmem -benchtime=100x . |
+//	    go run ./cmd/benchjson -gate '^BenchmarkPool' > BENCH_pool.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	gate := flag.String("gate", "", "regexp of benchmark names whose allocs/op must not exceed -max-allocs")
+	maxAllocs := flag.Float64("max-allocs", 0, "allocation budget per op for gated benchmarks")
+	flag.Parse()
+
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		var err error
+		if gateRe, err = regexp.Compile(*gate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	recs := []record{} // non-nil: an empty run must emit [], not null
+	var violations []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		recs = append(recs, rec)
+		if gateRe != nil && gateRe.MatchString(rec.Name) && rec.AllocsPerOp > *maxAllocs {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f allocs/op (budget %.0f)", rec.Name, rec.AllocsPerOp, *maxAllocs))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchjson: steady-state allocation regression: %s\n", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkPoolThroughput/submitters_4-8  100  668626 ns/op  69 B/op  0 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name; custom
+// ReportMetric columns are ignored.
+func parseLine(line string) (record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return record{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	rec := record{Name: name}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			rec.NsPerOp = v
+			seen = true
+		case "B/op":
+			rec.BPerOp = v
+		case "allocs/op":
+			rec.AllocsPerOp = v
+		}
+	}
+	return rec, seen
+}

@@ -227,7 +227,7 @@ func poolTable() {
 		var warm sync.WaitGroup
 		for g := 0; g < submitters; g++ {
 			warm.Add(1)
-			go func() { defer warm.Done(); p.Run(head); p.Run(head) }()
+			go func() { defer warm.Done(); p.MustRun(head); p.MustRun(head) }()
 		}
 		warm.Wait()
 		var wg sync.WaitGroup
@@ -237,7 +237,7 @@ func poolTable() {
 			go func() {
 				defer wg.Done()
 				for i := 0; i < perSubmitter; i++ {
-					p.Run(head)
+					p.MustRun(head)
 				}
 			}()
 		}

@@ -13,14 +13,20 @@
 // shared workers), reporting aggregate throughput and runtime counters:
 //
 //	spicerun -pool -concurrent 8 -threads 4 -size 100000 -invocations 200
+//
+// -timeout bounds the whole -pool drive with a context deadline; when it
+// fires, in-flight invocations are cut off and counted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spice"
@@ -42,10 +48,11 @@ func main() {
 	pool := flag.Bool("pool", false, "drive the native runtime's concurrent Pool instead of the simulator")
 	concurrent := flag.Int("concurrent", 8, "submitter goroutines for -pool")
 	workers := flag.Int("workers", 0, "persistent workers for -pool (0 = default)")
+	timeout := flag.Duration("timeout", 0, "context deadline for the whole -pool drive (0 = none)")
 	flag.Parse()
 
 	if *pool {
-		runPool(*concurrent, *threads, *workers, *size, *invocations)
+		runPool(*concurrent, *threads, *workers, *size, *invocations, *timeout)
 		return
 	}
 
@@ -106,7 +113,10 @@ func main() {
 
 // runPool drives `concurrent` submitter goroutines, each owning a
 // churning linked list and a Pool session, through one shared executor.
-func runPool(concurrent, threads, workers int, size, invocations int64) {
+// A non-zero timeout bounds the whole drive with a context deadline:
+// in-flight invocations are cut off at their next poll point and
+// reported, demonstrating the v2 cancellation plumbing under load.
+func runPool(concurrent, threads, workers int, size, invocations int64, timeout time.Duration) {
 	if concurrent < 1 {
 		concurrent = 1
 	}
@@ -126,22 +136,41 @@ func runPool(concurrent, threads, workers int, size, invocations int64) {
 	}
 	defer p.Close()
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
 	fmt.Printf("native pool: %d submitters x %d invocations, %d-element lists, "+
 		"%d chunks/invocation, %d shared workers\n",
 		concurrent, invocations, size, threads, p.Workers())
 
+	var cutOff atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < concurrent; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			s := p.Session()
+			s, err := p.Session()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spicerun: %v\n", err)
+				return
+			}
 			defer s.Close()
 			rng := rand.New(rand.NewSource(int64(g) + 1))
 			head, all := poolbench.BuildList(rng, size)
 			for inv := int64(0); inv < invocations; inv++ {
-				s.Run(head)
+				if _, err := s.Run(ctx, head); err != nil {
+					if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+						cutOff.Add(1)
+						return
+					}
+					fmt.Fprintf(os.Stderr, "spicerun: %v\n", err)
+					return
+				}
 				// Value churn between invocations (the Spice scenario).
 				for k := 0; k < 32; k++ {
 					all[rng.Intn(len(all))].W = rng.Int63n(1 << 20)
@@ -162,4 +191,8 @@ func runPool(concurrent, threads, workers int, size, invocations int64) {
 		100*float64(st.MisspecInvocations)/total)
 	fmt.Printf("  recovery rounds:  %d (%d parallel chunks)\n", st.Recoveries, st.RecoveryChunks)
 	fmt.Printf("  last works:       %v\n", st.LastWorks)
+	if timeout > 0 {
+		fmt.Printf("  deadline:         %v; %d submitters cut off mid-invocation\n",
+			timeout, cutOff.Load())
+	}
 }

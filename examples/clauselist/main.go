@@ -107,7 +107,7 @@ func main() {
 	fmt.Println("find_lightest_cl over a churning 50k-clause list:")
 	for inv := 0; inv < 12; inv++ {
 		before := r.Stats().MisspecInvocations
-		res := r.Run(l.head)
+		res := r.MustRun(l.head)
 		misspec := r.Stats().MisspecInvocations > before
 		fmt.Printf("  inv %2d: lightest=%6d works=%v misspec=%v\n",
 			inv, res.w, r.Stats().LastWorks, misspec)
@@ -116,17 +116,17 @@ func main() {
 
 	// Figure 6 walkthrough: force the removal of a *predicted* node.
 	fmt.Println("\nFigure 6 walkthrough: removing a predicted chunk-start node")
-	res := r.Run(l.head)
+	res := r.MustRun(l.head)
 	// The chunk boundaries are whatever the predictor memoized; removing
 	// ~the middle third guarantees at least one boundary disappears.
 	ns = l.nodes()
 	l.relink(append(ns[:len(ns)/3], ns[2*len(ns)/3:]...))
 	before := r.Stats().MisspecInvocations
-	res = r.Run(l.head)
+	res = r.MustRun(l.head)
 	fmt.Printf("  after removal: lightest=%d, mis-speculated=%v (squashed chunks discarded,\n",
 		res.w, r.Stats().MisspecInvocations > before)
 	fmt.Println("  surviving threads covered the whole list; result still exact)")
-	res2 := r.Run(l.head)
+	res2 := r.MustRun(l.head)
 	fmt.Printf("  next invocation recovered: works=%v lightest=%d\n",
 		r.Stats().LastWorks, res2.w)
 }

@@ -50,7 +50,7 @@ func main() {
 	fmt.Println("chunk boundaries converge from the bootstrap split and track growth:")
 	fmt.Println("(each row: per-chunk iteration counts; invocation 0 is the sequential bootstrap)")
 	for inv := 0; inv < 14; inv++ {
-		r.Run(head)
+		r.MustRun(head)
 		st := r.Stats()
 		var total int64
 		for _, w := range st.LastWorks {

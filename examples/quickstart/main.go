@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"spice"
 )
@@ -68,9 +71,15 @@ func main() {
 
 	// Invocation 1 runs sequentially and memoizes chunk starts;
 	// invocation 2 onward runs four speculative chunks concurrently on
-	// the runner's persistent worker pool.
+	// the runner's persistent worker pool. Run takes a context and
+	// returns an error (v2 API); loops that cannot fail and need no
+	// deadline can use the v1-style MustRun(start) instead.
+	ctx := context.Background()
 	for inv := 0; inv < 5; inv++ {
-		res := runner.Run(head)
+		res, err := runner.Run(ctx, head)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("invocation %d: min weight %d (chunk works %v)\n",
 			inv+1, res.weight, runner.Stats().LastWorks)
 		// Mutate between invocations: re-weight the found minimum (the
@@ -81,6 +90,19 @@ func main() {
 	st := runner.Stats()
 	fmt.Printf("\n%d invocations, %d mis-speculated, imbalance %.2f\n",
 		st.Invocations, st.MisspecInvocations, st.Imbalance())
+
+	// Deadline-bounded traversal: a context deadline (or cancellation)
+	// stops an in-flight invocation at the next poll point — chunk
+	// dispatch, the chunks' amortized in-loop checks, and squash-recovery
+	// rounds all honor it — and Run reports ctx.Err(). Here the deadline
+	// is already expired, so the traversal is cut off deterministically.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now())
+	defer cancel()
+	if _, err := runner.Run(expired, head); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("deadline-bounded run: cut off as expected:", err)
+	} else {
+		fmt.Println("deadline-bounded run: unexpected outcome:", err)
+	}
 
 	// Concurrent front door: many goroutines query the same list at once
 	// through one Pool — each submission gets its own runner state, all
@@ -97,7 +119,9 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				pool.Run(head)
+				if _, err := pool.Run(ctx, head); err != nil {
+					panic(err)
+				}
 			}
 		}()
 	}

@@ -91,7 +91,7 @@ func main() {
 	defer r.Close()
 
 	for inv := 0; inv < 8; inv++ {
-		res := r.Run(head)
+		res := r.MustRun(head)
 		// Commit: apply the buffered potential writes (double-buffer
 		// flip), then perturb some costs for the next iteration of the
 		// simplex.

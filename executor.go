@@ -40,11 +40,22 @@ func NewExecutor(workers int) *Executor {
 		go func() {
 			defer e.done.Done()
 			for t := range e.tasks {
-				t.run()
+				runContained(t)
 			}
 		}()
 	}
 	return e
+}
+
+// runContained isolates one task: workers are a shared, process-long
+// resource, so a panic escaping a task must not kill the goroutine (a
+// dead worker would silently shrink the pool and, with a pending
+// WaitGroup, deadlock its invocation). Tasks are expected to contain
+// their own failures (chunkJob.run converts panics to *PanicError); this
+// is the executor layer's backstop for any task that does not.
+func runContained(t task) {
+	defer func() { _ = recover() }()
+	t.run()
 }
 
 // Workers returns the fixed worker count.

@@ -1,8 +1,10 @@
 package spice
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the concurrent front door of the native library: a Pool
@@ -36,7 +38,7 @@ type Pool[S comparable, A any] struct {
 	idle   []*Runner[S, A]
 	all    []*Runner[S, A]
 	last   *Runner[S, A] // most recently released runner (for LastWorks)
-	closed bool
+	closed atomic.Bool   // atomic so Session.Run checks it without p.mu
 }
 
 // NewPool builds a Pool for the loop.
@@ -48,7 +50,7 @@ func NewPool[S comparable, A any](loop Loop[S, A], cfg PoolConfig) (*Pool[S, A],
 		return nil, ErrNoParallelism
 	}
 	if cfg.Config.Executor != nil {
-		return nil, errPoolExecutor
+		return nil, ErrPoolExecutor
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -67,17 +69,39 @@ func NewPool[S comparable, A any](loop Loop[S, A], cfg PoolConfig) (*Pool[S, A],
 // concurrent use: each in-flight invocation gets its own runner, all
 // multiplexed onto the pool's workers.
 //
+// ctx bounds the invocation exactly as in Runner.Run; a loop-body
+// failure (error or contained panic) surfaces as the error of the first
+// failing iteration in sequential order, and the runner is returned to
+// the free list either way, so the pool stays usable after a poisoned
+// submission. Run on a closed pool returns ErrPoolClosed.
+//
 // Run recycles runners — and therefore memoized node predictions —
 // across submitters, so it is meant for many goroutines traversing one
 // shared structure. The structure must not be mutated while any
 // submission is in flight (a recycled prediction may make a speculative
 // chunk read it from another submission). Callers that each own a
 // private, independently mutated structure should use Session instead.
-func (p *Pool[S, A]) Run(start S) A {
-	r := p.acquire()
+func (p *Pool[S, A]) Run(ctx context.Context, start S) (A, error) {
+	r, err := p.acquire()
+	if err != nil {
+		var zero A
+		return zero, err
+	}
 	defer p.release(r) // even if a loop callback panics and the caller recovers
-	return r.Run(start)
+	return r.Run(ctx, start)
 }
+
+// MustRun is the v1 infallible signature: Run with a background context,
+// panicking on error (including ErrPoolClosed and contained worker
+// panics, re-panicked as *PanicError).
+func (p *Pool[S, A]) MustRun(start S) A {
+	return mustRun(p.Run(context.Background(), start))
+}
+
+// isClosed reports whether Close has been called. Lock-free: it sits on
+// Session.Run's per-invocation path, which must not contend on the
+// shared pool mutex.
+func (p *Pool[S, A]) isClosed() bool { return p.closed.Load() }
 
 // Session pins a runner to one caller and one data structure. The
 // runner's predictor is reset on the way in and on the way out, so a
@@ -90,18 +114,44 @@ type Session[S comparable, A any] struct {
 	r *Runner[S, A]
 }
 
-// Session opens a session backed by the pool's shared workers.
-func (p *Pool[S, A]) Session() *Session[S, A] {
-	r := p.acquire()
+// Session opens a session backed by the pool's shared workers. It
+// returns ErrPoolClosed after Close.
+func (p *Pool[S, A]) Session() (*Session[S, A], error) {
+	r, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
 	r.pred.reset()
-	return &Session[S, A]{p: p, r: r}
+	return &Session[S, A]{p: p, r: r}, nil
 }
 
-// Run executes one invocation through the session's private runner.
-func (s *Session[S, A]) Run(start S) A { return s.r.Run(start) }
+// Run executes one invocation through the session's private runner,
+// with the same context and failure semantics as Runner.Run. After
+// Session.Close, or once Pool.Close has completed, it returns
+// ErrPoolClosed. The pool check is best-effort misuse detection, not a
+// synchronization point: Close's contract still requires that no Run is
+// in flight when it is called.
+func (s *Session[S, A]) Run(ctx context.Context, start S) (A, error) {
+	if s.r == nil || s.p.isClosed() {
+		var zero A
+		return zero, ErrPoolClosed
+	}
+	return s.r.Run(ctx, start)
+}
 
-// Stats returns the session runner's counters.
-func (s *Session[S, A]) Stats() Stats { return s.r.Stats() }
+// MustRun is the v1 infallible signature: Run with a background context,
+// panicking on error.
+func (s *Session[S, A]) MustRun(start S) A {
+	return mustRun(s.Run(context.Background(), start))
+}
+
+// Stats returns the session runner's counters (zero after Close).
+func (s *Session[S, A]) Stats() Stats {
+	if s.r == nil {
+		return Stats{}
+	}
+	return s.r.Stats()
+}
 
 // Close returns the runner to the pool. The session must not be used
 // afterwards; Close is idempotent.
@@ -114,18 +164,19 @@ func (s *Session[S, A]) Close() {
 	s.r = nil
 }
 
-// acquire pops an idle runner or creates one.
-func (p *Pool[S, A]) acquire() *Runner[S, A] {
+// acquire pops an idle runner or creates one; it returns ErrPoolClosed
+// after Close.
+func (p *Pool[S, A]) acquire() (*Runner[S, A], error) {
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
-		panic("spice: Run on closed Pool")
+		return nil, ErrPoolClosed
 	}
 	if n := len(p.idle); n > 0 {
 		r := p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
-		return r
+		return r, nil
 	}
 	p.mu.Unlock()
 	// NewRunner cannot fail here: the loop and config were validated by
@@ -137,7 +188,7 @@ func (p *Pool[S, A]) acquire() *Runner[S, A] {
 	p.mu.Lock()
 	p.all = append(p.all, r)
 	p.mu.Unlock()
-	return r
+	return r, nil
 }
 
 // release returns a runner to the free list.
@@ -179,8 +230,6 @@ func (p *Pool[S, A]) Workers() int { return p.exec.Workers() }
 // Close releases the pool's workers. It must not race with Run; it is
 // idempotent.
 func (p *Pool[S, A]) Close() {
-	p.mu.Lock()
-	p.closed = true
-	p.mu.Unlock()
+	p.closed.Store(true)
 	p.exec.Close()
 }

@@ -56,7 +56,7 @@ func TestRunnerCloseIdempotent(t *testing.T) {
 	}
 	l := newTestList(100, 1)
 	for i := 0; i < 3; i++ {
-		r.Run(l.head)
+		r.MustRun(l.head)
 	}
 	r.Close()
 	r.Close()
@@ -76,10 +76,10 @@ func TestRunnersShareExecutor(t *testing.T) {
 	l1, l2 := newTestList(300, 1), newTestList(400, 2)
 	for i := 0; i < 10; i++ {
 		want1, want2 := sequential(xorLoop(), l1.head), sequential(xorLoop(), l2.head)
-		if got := r1.Run(l1.head); got != want1 {
+		if got := r1.MustRun(l1.head); got != want1 {
 			t.Fatalf("r1 inv %d mismatch", i)
 		}
-		if got := r2.Run(l2.head); got != want2 {
+		if got := r2.MustRun(l2.head); got != want2 {
 			t.Fatalf("r2 inv %d mismatch", i)
 		}
 		l1.churn()
@@ -87,7 +87,7 @@ func TestRunnersShareExecutor(t *testing.T) {
 	}
 	// Close on a non-owning runner must leave the shared executor alive.
 	r1.Close()
-	if got := r2.Run(l2.head); got != sequential(xorLoop(), l2.head) {
+	if got := r2.MustRun(l2.head); got != sequential(xorLoop(), l2.head) {
 		t.Fatal("shared executor unusable after sibling Close")
 	}
 	r2.Close()
@@ -107,7 +107,7 @@ func TestConcurrentRunOnRunnerPanics(t *testing.T) {
 			t.Fatal("concurrent Run did not panic")
 		}
 	}()
-	r.Run(nil)
+	r.MustRun(nil)
 }
 
 // --- Pool -------------------------------------------------------------
@@ -135,7 +135,7 @@ func TestPoolSequentialSubmissionsReuseRunner(t *testing.T) {
 	l := newTestList(500, 3)
 	for inv := 0; inv < 15; inv++ {
 		want := sequential(xorLoop(), l.head)
-		if got := p.Run(l.head); got != want {
+		if got := p.MustRun(l.head); got != want {
 			t.Fatalf("inv %d: got %+v want %+v", inv, got, want)
 		}
 		l.churn()
@@ -181,12 +181,16 @@ func TestPoolConcurrentStress(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			s := p.Session()
+			s, serr := p.Session()
+			if serr != nil {
+				t.Error(serr)
+				return
+			}
 			defer s.Close()
 			l := newTestList(300+17*g, int64(1000+g))
 			for inv := 0; inv < invocations; inv++ {
 				want := sequential(xorLoop(), l.head)
-				if got := s.Run(l.head); got != want {
+				if got := s.MustRun(l.head); got != want {
 					errs <- "submitter result diverged from sequential reference"
 					return
 				}
@@ -246,7 +250,7 @@ func TestPoolSharedListConcurrent(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for inv := 0; inv < perRound; inv++ {
-					if got := p.Run(l.head); got != want {
+					if got := p.MustRun(l.head); got != want {
 						errs <- "shared-list result diverged from sequential reference"
 						return
 					}
@@ -279,11 +283,15 @@ func TestPoolStatsReadableUnderLoad(t *testing.T) {
 		submitters.Add(1)
 		go func(g int) {
 			defer submitters.Done()
-			s := p.Session()
+			s, serr := p.Session()
+			if serr != nil {
+				t.Error(serr)
+				return
+			}
 			defer s.Close()
 			l := newTestList(400, int64(g))
 			for inv := 0; inv < 20; inv++ {
-				s.Run(l.head)
+				s.MustRun(l.head)
 				l.churn()
 			}
 		}(g)
@@ -330,7 +338,7 @@ func TestParallelSquashRecoveryForcedCap(t *testing.T) {
 	defer r.Close()
 	for inv := 0; inv < 6; inv++ {
 		want := sequential(xorLoop(), l.head)
-		if got := r.Run(l.head); got != want {
+		if got := r.MustRun(l.head); got != want {
 			t.Fatalf("inv %d: got %+v want %+v", inv, got, want)
 		}
 	}
@@ -366,7 +374,7 @@ func TestParallelSquashRecoveryOrganic(t *testing.T) {
 	// Warm up: bootstrap plus enough invocations to memoize all rows.
 	for inv := 0; inv < 4; inv++ {
 		want := sequential(xorLoop(), l.head)
-		if got := r.Run(l.head); got != want {
+		if got := r.MustRun(l.head); got != want {
 			t.Fatalf("warmup inv %d mismatch", inv)
 		}
 	}
@@ -384,7 +392,7 @@ func TestParallelSquashRecoveryOrganic(t *testing.T) {
 
 	before := r.Stats()
 	want := sequential(xorLoop(), l.head)
-	if got := r.Run(l.head); got != want {
+	if got := r.MustRun(l.head); got != want {
 		t.Fatalf("growth invocation: got %+v want %+v", got, want)
 	}
 	after := r.Stats()
@@ -400,7 +408,7 @@ func TestParallelSquashRecoveryOrganic(t *testing.T) {
 	// again and no further recovery happens.
 	for inv := 0; inv < 2; inv++ {
 		want = sequential(xorLoop(), l.head)
-		if got := r.Run(l.head); got != want {
+		if got := r.MustRun(l.head); got != want {
 			t.Fatalf("post-recovery inv %d mismatch", inv)
 		}
 	}
@@ -438,12 +446,16 @@ func TestRecoveryThroughPool(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			s := p.Session()
+			s, serr := p.Session()
+			if serr != nil {
+				t.Error(serr)
+				return
+			}
 			defer s.Close()
 			l := newTestList(2000, int64(100+g))
 			for inv := 0; inv < 10; inv++ {
 				want := sequential(xorLoop(), l.head)
-				if got := s.Run(l.head); got != want {
+				if got := s.MustRun(l.head); got != want {
 					fail <- struct{}{}
 					return
 				}
@@ -475,9 +487,9 @@ func TestSteadyStateAllocations(t *testing.T) {
 	}
 	defer r.Close()
 	for inv := 0; inv < 8; inv++ {
-		r.Run(l.head) // warm predictor and buffers
+		r.MustRun(l.head) // warm predictor and buffers
 	}
-	avg := testing.AllocsPerRun(20, func() { r.Run(l.head) })
+	avg := testing.AllocsPerRun(20, func() { r.MustRun(l.head) })
 	if avg > 4 {
 		t.Errorf("steady-state Run allocates %.1f objects/op; hot path should reuse buffers", avg)
 	}

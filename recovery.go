@@ -1,5 +1,7 @@
 package spice
 
+import "context"
+
 // This file is the parallel squash-recovery path, the native port of the
 // simulator's remote-resteer mechanism (internal/rt): when the
 // validation chain breaks on a capped chunk, the remainder of the
@@ -16,11 +18,15 @@ package spice
 // start is the breaking chunk's live stop state, globalPos its exact
 // global iteration position, brokenRow the SVA row the breaking chunk
 // was hunting, rows the invocation's prediction snapshot. It returns the
-// merged remainder accumulator, the iterations committed, and whether
-// any recovery chunk was squashed. Memoizations are appended to the
-// scheduler's memo buffer at exact global positions; squash and
-// recovery counters are updated on the runner's stats directly.
-func (r *Runner[S, A]) recoverParallel(start S, globalPos int64, brokenRow int, rows []row[S]) (A, int64, bool) {
+// merged remainder accumulator, the iterations committed, whether any
+// recovery chunk was squashed, and the first failure in iteration order
+// (ctx cancellation, body error, or contained panic) — a deadline
+// cannot be ignored by recovery rounds: each round re-checks ctx before
+// dispatching and its chunks poll while running. Memoizations are
+// appended to the scheduler's memo buffer at exact global positions;
+// squash and recovery counters are updated on the runner's stats
+// directly.
+func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos int64, brokenRow int, rows []row[S]) (A, int64, bool, error) {
 	s := r.sched
 	cap64 := r.pred.specCap(r.cfg.MaxSpecIters)
 	acc := r.loop.Init()
@@ -31,6 +37,9 @@ func (r *Runner[S, A]) recoverParallel(start S, globalPos int64, brokenRow int, 
 	next := brokenRow // first candidate row for this round
 
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return acc, recWork, misspec, cerr
+		}
 		r.stats.recoveries.Add(1)
 
 		// Remaining predicted starts, in row order. The broken row is
@@ -64,6 +73,7 @@ func (r *Runner[S, A]) recoverParallel(start S, globalPos int64, brokenRow int, 
 		// Dispatch: chunk 0 from the live state (no cap — its start is
 		// architecturally correct), chunk i>0 speculatively from
 		// candidate row i-1, each hunting the next candidate.
+		s.armAbort()
 		for i := 0; i < n; i++ {
 			st := cur
 			posBase := globalPos
@@ -77,17 +87,26 @@ func (r *Runner[S, A]) recoverParallel(start S, globalPos int64, brokenRow int, 
 				snap = &rows[cands[i]]
 				ownRow = cands[i]
 			}
-			s.jobs[i].reset(r, st, snap, ownRow, i > 0, s.recPlans[i], posBase, cap64)
+			s.jobs[i].reset(r, ctx, st, snap, ownRow, i > 0, s.recPlans[i], posBase, cap64)
 			s.wg.Add(1)
 			r.exec.submit(&s.jobs[i])
 		}
 		s.wg.Wait()
 
 		// Resolve the round's chain: commit the valid prefix at exact
-		// global positions, squash the rest.
+		// global positions, squash the rest. A failed chunk in the valid
+		// prefix fails the whole invocation (its predecessors all
+		// matched, so its failure is the sequential-first one); chunks
+		// behind it are squashed as usual.
 		broke := 0
+		var runErr error
 		for i := 0; i < n; i++ {
 			res := &s.results[i]
+			if res.err != nil {
+				broke = i
+				runErr = res.err
+				break
+			}
 			if haveAcc {
 				acc = r.loop.Merge(acc, res.acc)
 			} else {
@@ -109,10 +128,14 @@ func (r *Runner[S, A]) recoverParallel(start S, globalPos int64, brokenRow int, 
 			r.stats.squashedIters.Add(s.results[i].work)
 			misspec = true
 		}
+		if runErr != nil {
+			r.stats.squashedIters.Add(s.results[broke].work)
+			return acc, recWork, misspec, runErr
+		}
 
 		res := &s.results[broke]
 		if !res.capped {
-			return acc, recWork, misspec // reached the end of the traversal
+			return acc, recWork, misspec, nil // reached the end of the traversal
 		}
 		// Capped again: next round resumes from the new live position.
 		// The row this chunk was hunting had its retry; drop it. Each

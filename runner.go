@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -71,16 +72,53 @@ func (st *runnerStats) snapshot() Stats {
 
 // Run executes one invocation of the loop from start and returns the
 // merged accumulator — always exactly the sequential result.
-func (r *Runner[S, A]) Run(start S) A {
+//
+// ctx bounds the invocation: a cancelled or expired context stops chunk
+// dispatch, makes running chunks (including squash-recovery rounds)
+// return at the next poll point (every few hundred iterations), and
+// surfaces as ctx.Err(). A nil ctx is treated as context.Background().
+// If the traversal completes before cancellation is observed, the result
+// is returned normally.
+//
+// Failures are contained: a BodyErr error or a panicking body on a
+// worker goroutine squashes the speculative chunks after it and returns
+// the first-in-iteration-order error (a panic as *PanicError) instead of
+// crashing the process. On any non-nil error the accumulator is the zero
+// value and the predictor keeps its last good memoizations, so the next
+// Run speculates normally.
+func (r *Runner[S, A]) Run(ctx context.Context, start S) (A, error) {
 	if !r.running.CompareAndSwap(false, true) {
 		panic("spice: concurrent Run on a single Runner (wrap the loop in a Pool)")
 	}
 	defer r.running.Store(false)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		var zero A
+		return zero, err
+	}
 	r.stats.invocations.Add(1)
 	if r.cfg.Threads == 1 || !r.pred.havePredictions() {
-		return r.runSequential(start)
+		return r.runSequential(ctx, start)
 	}
-	return r.sched.run(r, start, r.pred.snapshot())
+	return r.sched.run(r, ctx, start, r.pred.snapshot())
+}
+
+// MustRun is the v1 infallible signature: Run with a background context,
+// panicking on error. Meant for loops with an infallible Body and no
+// deadline; a contained worker panic (*PanicError) is re-panicked on the
+// caller.
+func (r *Runner[S, A]) MustRun(start S) A {
+	return mustRun(r.Run(context.Background(), start))
+}
+
+// mustRun is the shared MustRun contract: unwrap or panic.
+func mustRun[A any](acc A, err error) A {
+	if err != nil {
+		panic(err)
+	}
+	return acc
 }
 
 // Stats returns a snapshot of the runner's counters. Safe to call
@@ -107,8 +145,17 @@ func (r *Runner[S, A]) String() string {
 
 // runSequential executes the loop on the calling goroutine, sampling
 // bootstrap candidates at power-of-two indices so the next invocation
-// can speculate (the paper's first-invocation memoization).
-func (r *Runner[S, A]) runSequential(start S) A {
+// can speculate (the paper's first-invocation memoization). It honors
+// ctx at the same amortized poll interval as parallel chunks and
+// contains body panics as *PanicError, so the bootstrap invocation obeys
+// the same contract as the parallel ones.
+func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			var zero A
+			out, err = zero, newPanicError(v)
+		}
+	}()
 	acc := r.loop.Init()
 	type cand struct {
 		state S
@@ -117,13 +164,28 @@ func (r *Runner[S, A]) runSequential(start S) A {
 	var cands []cand
 	sample := r.cfg.Threads > 1
 	next := int64(1)
+	bodyErr := r.loop.BodyErr // hoisted, as in chunkJob.run
 	var work int64
 	for s := start; !r.loop.Done(s); s = r.loop.Next(s) {
+		if work&(ctxPollEvery-1) == ctxPollEvery-1 {
+			if cerr := ctx.Err(); cerr != nil {
+				var zero A
+				return zero, cerr
+			}
+		}
 		if sample && work == next {
 			cands = append(cands, cand{s, work})
 			next *= 2
 		}
-		acc = r.loop.Body(s, acc)
+		if bodyErr != nil {
+			acc, err = bodyErr(s, acc)
+			if err != nil {
+				var zero A
+				return zero, err
+			}
+		} else {
+			acc = r.loop.Body(s, acc)
+		}
 		work++
 	}
 	r.stats.totalIters.Add(work)
@@ -166,5 +228,5 @@ func (r *Runner[S, A]) runSequential(start S) A {
 	}
 	r.sched.memos = memos
 	r.pred.apply(work, memos)
-	return acc
+	return acc, nil
 }

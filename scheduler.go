@@ -1,12 +1,19 @@
 package spice
 
-import "sync"
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+)
 
 // This file is the scheduler layer: chunk planning, the validation
 // chain, and commit/squash bookkeeping, extracted from the former
 // monolithic Runner.Run. The scheduler owns every per-invocation buffer
 // (chunk results, jobs, works, memos) and reuses them across
-// invocations, so the steady-state parallel path allocates nothing.
+// invocations, so the steady-state parallel path allocates nothing —
+// including the v2 failure plumbing: ctx polling, the abort barrier and
+// per-chunk error slots all live in preallocated state.
 
 // chunkResult is one chunk's outcome.
 type chunkResult[S comparable, A any] struct {
@@ -15,17 +22,20 @@ type chunkResult[S comparable, A any] struct {
 	matched  bool  // stopped by encountering successor's predicted start
 	capped   bool  // hit the speculative iteration cap
 	props    []proposal[S]
-	endState S    // state at stop (valid only when capped)
-	active   bool // chunk was dispatched this round
+	endState S     // state at stop (valid only when capped)
+	active   bool  // chunk was dispatched this round
+	err      error // body error, ctx error, *PanicError, or errChunkAborted
 }
 
 // chunkJob is a preallocated executor task: one chunk of one invocation.
-// res and wg are wired once at scheduler construction; the remaining
-// fields are reset per dispatch.
+// res, wg and idx are wired once at scheduler construction; the
+// remaining fields are reset per dispatch.
 type chunkJob[S comparable, A any] struct {
 	r       *Runner[S, A]
 	res     *chunkResult[S, A]
 	wg      *sync.WaitGroup
+	idx     int // dispatch slot: position in the round's validation chain
+	ctx     context.Context
 	start   S
 	snap    *row[S] // successor's predicted start (nil: run to the end)
 	ownRow  int     // SVA row this chunk's own backstop targets (-1: none)
@@ -36,9 +46,10 @@ type chunkJob[S comparable, A any] struct {
 }
 
 // reset arms the job and its result buffer for one dispatch.
-func (j *chunkJob[S, A]) reset(r *Runner[S, A], start S, snap *row[S],
+func (j *chunkJob[S, A]) reset(r *Runner[S, A], ctx context.Context, start S, snap *row[S],
 	ownRow int, spec bool, plan []planEntry, posBase, cap64 int64) {
 	j.r = r
+	j.ctx = ctx
 	j.start = start
 	j.snap = snap
 	j.ownRow = ownRow
@@ -54,29 +65,66 @@ func (j *chunkJob[S, A]) reset(r *Runner[S, A], start S, snap *row[S],
 	res.props = res.props[:0]
 	res.endState = zero
 	res.active = true
+	res.err = nil
 }
 
 // run executes one chunk: the paper's per-thread loop with work
 // counting, threshold-driven memoization, and mis-speculation detection
 // against the successor's predicted start.
+//
+// run is the panic-containment boundary of the executor layer: a body
+// panicking on a worker goroutine (e.g. a corrupted prediction
+// dereferencing freed state) is recovered here and recorded as a
+// *PanicError, so the process survives and the chain resolution decides
+// whether the failure is architectural (surfaces from Run) or
+// speculative (squashed and discarded). Every ctxPollEvery iterations
+// the loop polls the invocation context and the scheduler's abort
+// barrier, keeping the common-path overhead amortized to ~zero.
 func (j *chunkJob[S, A]) run() {
 	defer j.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			res := j.res
+			res.matched = false
+			res.capped = false
+			res.err = newPanicError(v)
+			j.r.sched.abortAfter(j.idx)
+		}
+	}()
 	r := j.r
+	sched := r.sched
 	res := j.res
 	res.acc = r.loop.Init()
 	plan := j.plan
 	cursor := 0
 	ownDone := false
 	s := j.start
+	bodyErr := r.loop.BodyErr
 
-	var work int64
+	// The work counter lives in the result struct (which already takes
+	// one store per iteration for the accumulator) rather than a local,
+	// so the panic-recovery defer above sees an up-to-date count and
+	// squash accounting stays exact for panicked chunks.
+	work := &res.work
 	for !r.loop.Done(s) {
-		work++ // started iterations, counted at iteration head
+		*work++ // started iterations, counted at iteration head
+		if *work&(ctxPollEvery-1) == 0 {
+			if cerr := j.ctx.Err(); cerr != nil {
+				res.err = cerr
+				break
+			}
+			// An earlier chunk failed: this chunk is certain to be
+			// squashed, so stop burning the worker on it.
+			if sched.abort.Load() < int64(j.idx) {
+				res.err = errChunkAborted
+				break
+			}
+		}
 		// Memoization (Algorithm 2): capture live-ins when the work
 		// counter passes the head threshold.
-		if cursor < len(plan) && work > plan[cursor].local {
+		if cursor < len(plan) && *work > plan[cursor].local {
 			res.props = append(res.props, proposal[S]{
-				row: plan[cursor].row, state: s, local: work - 1,
+				row: plan[cursor].row, state: s, local: *work - 1,
 			})
 			if plan[cursor].row == j.ownRow {
 				ownDone = true
@@ -87,27 +135,36 @@ func (j *chunkJob[S, A]) run() {
 		// Positional validation (the ablation) additionally requires the
 		// match at the exact memoized global index.
 		if j.snap != nil && s == j.snap.start &&
-			(!r.cfg.Positional || j.posBase+work-1 == j.snap.pos) {
+			(!r.cfg.Positional || j.posBase+*work-1 == j.snap.pos) {
 			res.matched = true
 			// Backstop: persist the validated successor start when this
 			// chunk's own pending entry targets its own row (see the
 			// compiler transformation's spice.backstop).
 			if !ownDone && cursor < len(plan) && plan[cursor].row == j.ownRow {
-				res.props = append(res.props, proposal[S]{row: j.ownRow, state: s, local: work - 1})
+				res.props = append(res.props, proposal[S]{row: j.ownRow, state: s, local: *work - 1})
 			}
 			break
 		}
-		res.acc = r.loop.Body(s, res.acc)
+		if bodyErr != nil {
+			var err error
+			res.acc, err = bodyErr(s, res.acc)
+			if err != nil {
+				res.err = err
+				sched.abortAfter(j.idx)
+				break
+			}
+		} else {
+			res.acc = r.loop.Body(s, res.acc)
+		}
 		s = r.loop.Next(s)
-		if j.spec && work >= j.cap {
+		if j.spec && *work >= j.cap {
 			res.capped = true
 			res.endState = s
 			break
 		}
 	}
-	res.work = work
 	if res.matched {
-		res.work = work - 1 // the matching peek iteration did no work
+		res.work-- // the matching peek iteration did no work
 	}
 }
 
@@ -123,6 +180,14 @@ type scheduler[S comparable, A any] struct {
 	candBuf  []int         // recovery candidate row indices
 	recPlans [][]planEntry // recovery per-chunk plan buffers
 	wg       sync.WaitGroup
+	// abort is the failure barrier of one dispatch round: the lowest
+	// chain index that has failed so far (MaxInt64 when none). Chunks
+	// with a higher index are certain to be squashed — the validation
+	// chain cannot pass a failed chunk — so they stop at their next poll
+	// instead of completing doomed work. Chunks at or below the barrier
+	// are untouched: they must finish normally for the first error to be
+	// attributed deterministically in iteration order.
+	abort atomic.Int64
 }
 
 func newScheduler[S comparable, A any](threads int) *scheduler[S, A] {
@@ -135,24 +200,61 @@ func newScheduler[S comparable, A any](threads int) *scheduler[S, A] {
 	for j := range s.jobs {
 		s.jobs[j].res = &s.results[j]
 		s.jobs[j].wg = &s.wg
+		s.jobs[j].idx = j
 	}
 	return s
+}
+
+// armAbort clears the failure barrier for a new dispatch round.
+func (s *scheduler[S, A]) armAbort() { s.abort.Store(math.MaxInt64) }
+
+// abortAfter lowers the failure barrier to idx: chunks later in the
+// chain stop at their next poll.
+func (s *scheduler[S, A]) abortAfter(idx int) {
+	for {
+		cur := s.abort.Load()
+		if cur <= int64(idx) || s.abort.CompareAndSwap(cur, int64(idx)) {
+			return
+		}
+	}
+}
+
+// releaseCtx drops the jobs' context references once a dispatch round
+// has fully completed, so an idle runner (e.g. parked in a Pool free
+// list) does not pin a finished caller's request-scoped context and its
+// value chain until the next invocation.
+func (s *scheduler[S, A]) releaseCtx() {
+	for j := range s.jobs {
+		s.jobs[j].ctx = nil
+	}
 }
 
 // run executes one parallel invocation: dispatch one chunk per predicted
 // start onto the executor, resolve the validation chain, commit the
 // valid prefix, squash the rest, and recover any capped remainder in
-// parallel.
-func (s *scheduler[S, A]) run(r *Runner[S, A], start S, rows []row[S]) A {
+// parallel. A failed invocation (body error, contained panic, or ctx
+// cancellation) returns the zero accumulator and the failure of the
+// earliest chunk in iteration order; the predictor keeps its previous
+// memoizations so the next invocation still speculates.
+func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, rows []row[S]) (A, error) {
 	t := s.threads
 	cap64 := r.pred.specCap(r.cfg.MaxSpecIters)
+	var zero A
 
 	// --- Dispatch ----------------------------------------------------
 	for j := 0; j < t; j++ {
 		s.works[j] = 0
 		s.results[j].active = false
 	}
+	s.armAbort()
+	var dispatchErr error
 	for j := 0; j < t; j++ {
+		// Honor cancellation at dispatch: once ctx is done, no further
+		// chunk starts. Already-running chunks stop at their next poll;
+		// the chain resolution below surfaces the error.
+		if dispatchErr = ctx.Err(); dispatchErr != nil {
+			break
+		}
 		startState := start
 		var posBase int64
 		if j > 0 {
@@ -166,11 +268,12 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], start S, rows []row[S]) A {
 		if j < t-1 && rows[j].valid {
 			snap = &rows[j]
 		}
-		s.jobs[j].reset(r, startState, snap, j, j > 0, r.pred.planFor(j), posBase, cap64)
+		s.jobs[j].reset(r, ctx, startState, snap, j, j > 0, r.pred.planFor(j), posBase, cap64)
 		s.wg.Add(1)
 		r.exec.submit(&s.jobs[j])
 	}
 	s.wg.Wait()
+	defer s.releaseCtx()
 
 	// --- Validation chain --------------------------------------------
 	// Chunk j+1 is validated by chunk j stopping on a match. The prefix
@@ -181,11 +284,28 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], start S, rows []row[S]) A {
 	ncommit := 0
 	f := 0
 	needRecovery := false
+	var runErr error
 	var tailEnd S
 	for j := 0; j < t; j++ {
 		res := &s.results[j]
-		if !res.active { // idle
+		if !res.active {
 			f = j
+			// Undispatched: either its region is covered by a predecessor
+			// (invalid row — the predecessor then ran snap-less and never
+			// matched, so the walk stops before reaching it) or dispatch
+			// was cut short by cancellation after the predecessor matched
+			// into a region that never ran — then the invocation fails.
+			runErr = dispatchErr
+			break
+		}
+		if res.err != nil {
+			// Chunks 0..j-1 all matched, so chunk j's iterations are
+			// exactly the sequential continuation and its failure is the
+			// first in iteration order. (errChunkAborted cannot reach
+			// here: an aborted chunk always sits behind the failed chunk
+			// that lowered the barrier, and the walk stops there first.)
+			f = j
+			runErr = res.err
 			break
 		}
 		if committed {
@@ -214,6 +334,18 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], start S, rows []row[S]) A {
 			misspec = true
 		}
 	}
+	if runErr != nil {
+		// The invocation failed: the failing chunk's partial work is
+		// discarded with everything after it. Memoizations are not
+		// applied — the predictor keeps its last good rows.
+		if s.results[f].active {
+			squashed += s.results[f].work
+		}
+		if squashed > 0 {
+			r.stats.squashedIters.Add(squashed)
+		}
+		return zero, runErr
+	}
 
 	// --- Commit memoizations (global coordinates) --------------------
 	s.memos = s.memos[:0]
@@ -228,7 +360,15 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], start S, rows []row[S]) A {
 
 	// --- Parallel squash recovery ------------------------------------
 	if needRecovery {
-		recAcc, recWork, recMisspec := r.recoverParallel(tailEnd, totalWork, f, rows)
+		recAcc, recWork, recMisspec, recErr := r.recoverParallel(ctx, tailEnd, totalWork, f, rows)
+		if recErr != nil {
+			// Same accounting as a primary-round failure: the primary
+			// round's squashes are real even though the invocation dies.
+			if squashed > 0 {
+				r.stats.squashedIters.Add(squashed)
+			}
+			return zero, recErr
+		}
 		acc = r.loop.Merge(acc, recAcc)
 		s.works[f] += recWork
 		totalWork += recWork
@@ -246,5 +386,5 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], start S, rows []row[S]) A {
 	}
 	r.pred.apply(totalWork, s.memos)
 	r.stats.setLastWorks(s.works)
-	return acc
+	return acc, nil
 }

@@ -32,6 +32,13 @@
 // chunks are discarded and their iterations re-executed, so Run always
 // returns exactly the sequential result.
 //
+// Run is context-first and fallible: a cancelled or expired context
+// stops an in-flight invocation (dispatch, running chunks, and squash
+// recovery all honor it), a BodyErr error or a panicking body surfaces
+// as the first failure in sequential iteration order (panics contained
+// as *PanicError instead of crashing the process), and MustRun
+// preserves the v1 infallible signature for loops that need neither.
+//
 // A Pool is the concurrent front door: many goroutines submit
 // invocations simultaneously, each served by its own runner state, all
 // sharing one executor's workers.
@@ -41,7 +48,11 @@
 // during Run.
 package spice
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
 
 // Loop describes the traversal to parallelize, generic over the live-in
 // state S (e.g. a list-node pointer) and the accumulator A.
@@ -49,8 +60,10 @@ import "errors"
 // The modelled loop is:
 //
 //	for s := start; !Done(s); s = Next(s) {
-//	    acc = Body(s, acc)
+//	    acc = Body(s, acc)        // or acc, err = BodyErr(s, acc)
 //	}
+//
+// Exactly one of Body and BodyErr must be set.
 type Loop[S comparable, A any] struct {
 	// Done reports whether the traversal has ended (e.g. s == nil).
 	Done func(S) bool
@@ -60,6 +73,14 @@ type Loop[S comparable, A any] struct {
 	// Body must not mutate shared state: it runs concurrently with
 	// other chunks' Body calls (collect side effects in A).
 	Body func(S, A) A
+	// BodyErr is the fallible form of Body, mutually exclusive with it.
+	// A non-nil error stops the invocation: speculative chunks after the
+	// failing iteration are squashed, and Run returns the error of the
+	// first failing iteration in sequential order. An error returned
+	// inside a chunk that is squashed anyway (its start was never
+	// validated) is discarded with the chunk — exactly as if the
+	// iteration had never run, which sequentially it would not have.
+	BodyErr func(S, A) (A, error)
 	// Init returns the identity accumulator a fresh chunk starts from.
 	Init func() A
 	// Merge combines two partial accumulators; a is the accumulator for
@@ -68,13 +89,52 @@ type Loop[S comparable, A any] struct {
 	Merge func(a, b A) A
 }
 
-// validate checks that all callbacks are present.
+// validate checks that the callbacks are present and consistent.
 func (l *Loop[S, A]) validate() error {
-	if l.Done == nil || l.Next == nil || l.Body == nil || l.Init == nil || l.Merge == nil {
-		return errors.New("spice: Loop requires Done, Next, Body, Init and Merge")
+	if l.Done == nil || l.Next == nil || l.Init == nil || l.Merge == nil {
+		return errors.New("spice: Loop requires Done, Next, Init and Merge")
+	}
+	if (l.Body == nil) == (l.BodyErr == nil) {
+		return errors.New("spice: Loop requires exactly one of Body or BodyErr")
 	}
 	return nil
 }
+
+// ctxPollEvery is the amortization interval, in iterations, at which
+// chunk loops poll the invocation context and the abort barrier. Large
+// enough that the steady-state hot loop stays allocation-free and within
+// ~2% of the v1 cost; small enough that cancellation of a long traversal
+// is observed promptly.
+const ctxPollEvery = 1024
+
+// PanicError is returned from Run when a loop callback panicked. The
+// panic is recovered on the worker (or calling) goroutine, so a
+// misbehaving Body degrades to an error return instead of taking down
+// the process; an Executor's workers and a Pool remain usable. A panic
+// inside a chunk that is squashed anyway (e.g. a corrupted prediction
+// walked freed state) is discarded with the chunk and never surfaces.
+type PanicError struct {
+	// Value is the value the callback panicked with.
+	Value any
+	// Stack is the stack of the panicking goroutine, captured at
+	// recovery.
+	Stack []byte
+}
+
+func newPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Error returns a single-line message; the captured stack is available
+// on the Stack field for callers that want the full trace.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("spice: loop body panicked: %v", e.Value)
+}
+
+// errChunkAborted marks a chunk stopped early by the abort barrier
+// because an earlier chunk already failed. Such a chunk is always
+// squashed during chain resolution, so this sentinel never escapes Run.
+var errChunkAborted = errors.New("spice: chunk aborted after an earlier chunk failed")
 
 // Config tunes a Runner.
 type Config struct {
@@ -130,11 +190,15 @@ type Stats struct {
 }
 
 // Imbalance returns max/mean over the last invocation's non-zero chunk
-// works (1.0 = perfectly balanced).
+// works (1.0 = perfectly balanced). Zero entries are idle or squashed
+// chunks, not unevenly loaded ones, so they are excluded from the mean.
 func (s Stats) Imbalance() float64 {
 	var sum, maxW int64
 	n := 0
 	for _, w := range s.LastWorks {
+		if w == 0 {
+			continue
+		}
 		sum += w
 		if w > maxW {
 			maxW = w
@@ -150,9 +214,13 @@ func (s Stats) Imbalance() float64 {
 // ErrNoParallelism is returned by NewRunner for thread counts below 1.
 var ErrNoParallelism = errors.New("spice: Threads must be at least 1")
 
-// errPoolExecutor is returned by NewPool when the embedded Config names
-// an external executor.
-var errPoolExecutor = errors.New("spice: PoolConfig must not set Config.Executor (the pool owns its executor)")
+// ErrPoolExecutor is returned by NewPool when the embedded Config names
+// an external executor. Test with errors.Is.
+var ErrPoolExecutor = errors.New("spice: PoolConfig must not set Config.Executor (the pool owns its executor)")
+
+// ErrPoolClosed is returned by Pool.Run and Pool.Session after Close.
+// Test with errors.Is.
+var ErrPoolClosed = errors.New("spice: pool is closed")
 
 // NewRunner builds a Runner for the loop. Unless cfg.Executor is set,
 // the runner starts a private executor of Threads persistent workers;

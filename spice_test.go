@@ -140,7 +140,7 @@ func TestSequentialEquivalenceStableList(t *testing.T) {
 		defer r.Close()
 		for inv := 0; inv < 20; inv++ {
 			want := sequential(xorLoop(), l.head)
-			got := r.Run(l.head)
+			got := r.MustRun(l.head)
 			if got != want {
 				t.Fatalf("threads=%d inv=%d: got %+v want %+v", threads, inv, got, want)
 			}
@@ -162,7 +162,7 @@ func TestParallelChunksActuallyUsed(t *testing.T) {
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
 	defer r.Close()
 	for inv := 0; inv < 10; inv++ {
-		r.Run(l.head)
+		r.MustRun(l.head)
 		l.churn()
 	}
 	st := r.Stats()
@@ -186,7 +186,7 @@ func TestHeavyChurnStillCorrect(t *testing.T) {
 	defer r.Close()
 	for inv := 0; inv < 15; inv++ {
 		want := sequential(xorLoop(), l.head)
-		if got := r.Run(l.head); got != want {
+		if got := r.MustRun(l.head); got != want {
 			t.Fatalf("inv %d: got %+v want %+v", inv, got, want)
 		}
 		l.heavyChurn(0.9)
@@ -203,9 +203,9 @@ func TestDanglingCycleRecovered(t *testing.T) {
 	l := newTestList(400, 3)
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4, MaxSpecIters: 2000})
 	defer r.Close()
-	r.Run(l.head) // bootstrap
+	r.MustRun(l.head) // bootstrap
 	want1 := sequential(xorLoop(), l.head)
-	if got := r.Run(l.head); got != want1 {
+	if got := r.MustRun(l.head); got != want1 {
 		t.Fatalf("pre-cycle: got %+v want %+v", got, want1)
 	}
 	// Unlink the middle ~half of nodes and make one of them a cycle;
@@ -215,12 +215,12 @@ func TestDanglingCycleRecovered(t *testing.T) {
 	mid.next = mid // self-cycle off-list
 	l.relink(append(ns[:len(ns)/2], ns[3*len(ns)/4:]...))
 	want := sequential(xorLoop(), l.head)
-	if got := r.Run(l.head); got != want {
+	if got := r.MustRun(l.head); got != want {
 		t.Fatalf("post-cycle: got %+v want %+v", got, want)
 	}
 	// And the invocation after recovers to parallel execution.
 	want = sequential(xorLoop(), l.head)
-	if got := r.Run(l.head); got != want {
+	if got := r.MustRun(l.head); got != want {
 		t.Fatalf("recovery: got %+v want %+v", got, want)
 	}
 }
@@ -231,7 +231,7 @@ func TestGrowingListTracksBoundaries(t *testing.T) {
 	defer r.Close()
 	for inv := 0; inv < 30; inv++ {
 		want := sequential(xorLoop(), l.head)
-		if got := r.Run(l.head); got != want {
+		if got := r.MustRun(l.head); got != want {
 			t.Fatalf("inv %d mismatch", inv)
 		}
 		// Grow ~5% per invocation at random positions.
@@ -256,7 +256,7 @@ func TestMembershipBeatsPositionalUnderChurn(t *testing.T) {
 		defer r.Close()
 		for inv := 0; inv < 25; inv++ {
 			want := sequential(xorLoop(), l.head)
-			if got := r.Run(l.head); got != want {
+			if got := r.MustRun(l.head); got != want {
 				t.Fatalf("positional=%v inv=%d mismatch", positional, inv)
 			}
 			l.churn() // insertions/deletions shift positions
@@ -278,7 +278,7 @@ func TestMemoizeOnceDegrades(t *testing.T) {
 		defer r.Close()
 		for inv := 0; inv < 30; inv++ {
 			want := sequential(xorLoop(), l.head)
-			if got := r.Run(l.head); got != want {
+			if got := r.MustRun(l.head); got != want {
 				t.Fatalf("once=%v inv=%d mismatch", once, inv)
 			}
 			l.heavyChurn(0.15)
@@ -296,17 +296,17 @@ func TestMemoizeOnceDegrades(t *testing.T) {
 func TestEmptyAndTinyLists(t *testing.T) {
 	r, _ := NewRunner(xorLoop(), Config{Threads: 4})
 	defer r.Close()
-	if got := r.Run(nil); got != (sumAcc{}) {
+	if got := r.MustRun(nil); got != (sumAcc{}) {
 		t.Errorf("empty list: %+v", got)
 	}
 	one := &node{weight: 5}
-	if got := r.Run(one); got.sum != 5 {
+	if got := r.MustRun(one); got.sum != 5 {
 		t.Errorf("one node: %+v", got)
 	}
 	l := newTestList(3, 1)
 	for inv := 0; inv < 5; inv++ {
 		want := sequential(xorLoop(), l.head)
-		if got := r.Run(l.head); got != want {
+		if got := r.MustRun(l.head); got != want {
 			t.Fatalf("tiny inv %d mismatch", inv)
 		}
 		l.churn()
@@ -327,7 +327,7 @@ func TestQuickEquivalence(t *testing.T) {
 		defer r.Close()
 		for inv := 0; inv < 8; inv++ {
 			want := sequential(xorLoop(), l.head)
-			if got := r.Run(l.head); got != want {
+			if got := r.MustRun(l.head); got != want {
 				t.Logf("seed=%d threads=%d inv=%d: got %+v want %+v", seed, tc, inv, got, want)
 				return false
 			}
@@ -358,7 +358,7 @@ func TestStatsSnapshotIsolated(t *testing.T) {
 	l := newTestList(100, 2)
 	r, _ := NewRunner(xorLoop(), Config{Threads: 2})
 	defer r.Close()
-	r.Run(l.head)
+	r.MustRun(l.head)
 	st := r.Stats()
 	if len(st.LastWorks) > 0 {
 		st.LastWorks[0] = -99
