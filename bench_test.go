@@ -474,6 +474,112 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveStable is the friendly half of the adaptive
+// acceptance pair: the paper's predictable workload (a stable 100k
+// list) with the controller ON must match BenchmarkNativeRunner/t4's
+// cost — the controller's bookkeeping is a handful of scalar updates
+// per invocation and, like the rest of the steady-state path, performs
+// zero allocations (CI gates this via benchjson).
+func BenchmarkAdaptiveStable(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	type nd struct {
+		w    int64
+		next *nd
+	}
+	var head *nd
+	for i := 0; i < 100_000; i++ {
+		head = &nd{w: rng.Int63n(1 << 20), next: head}
+	}
+	loop := Loop[*nd, int64]{
+		Done:  func(n *nd) bool { return n == nil },
+		Next:  func(n *nd) *nd { return n.next },
+		Body:  func(n *nd, a int64) int64 { return a + n.w },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, c int64) int64 { return a + c },
+	}
+	r, err := NewRunner(loop, Config{Threads: 4, Options: Options{Adaptive: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	r.MustRun(head) // bootstrap outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(ctx, head); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	b.ReportMetric(float64(st.EffectiveThreads), "eff_threads")
+	b.ReportMetric(float64(st.SequentialFallbacks), "seq_fallbacks")
+}
+
+// BenchmarkAdaptiveAdversarial is the hostile half: every invocation
+// traverses a different pre-built list (rotating through fresh node
+// sets), so no chunk-start prediction can ever materialize. The
+// sequential and fixed-width runners bound the comparison: fixed-width
+// speculation squashes work on every invocation, while adaptive mode
+// must shed speculation and track the sequential baseline (the
+// acceptance bar is 1.3x its ns/op).
+func BenchmarkAdaptiveAdversarial(b *testing.B) {
+	const nLists, listLen = 8, 40_000
+	rng := rand.New(rand.NewSource(23))
+	type nd struct {
+		w    int64
+		next *nd
+	}
+	heads := make([]*nd, nLists)
+	for l := range heads {
+		for i := 0; i < listLen; i++ {
+			heads[l] = &nd{w: rng.Int63n(1 << 20), next: heads[l]}
+		}
+	}
+	loop := Loop[*nd, int64]{
+		Done:  func(n *nd) bool { return n == nil },
+		Next:  func(n *nd) *nd { return n.next },
+		Body:  func(n *nd, a int64) int64 { return a + n.w },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, c int64) int64 { return a + c },
+	}
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"sequential", Config{Threads: 1}},
+		{"fixed", Config{Threads: 4}},
+		{"adaptive", Config{Threads: 4, Options: Options{Adaptive: true}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			r, err := NewRunner(loop, mode.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			ctx := context.Background()
+			for l := range heads {
+				r.MustRun(heads[l]) // settle into the adversarial steady state
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(ctx, heads[i%nLists]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := r.Stats()
+			if st.TotalIters == 0 {
+				b.Fatal("no iterations committed")
+			}
+			b.ReportMetric(float64(st.SquashedIters)/float64(st.Invocations), "squashed_per_inv")
+			b.ReportMetric(float64(st.EffectiveThreads), "eff_threads")
+			b.ReportMetric(float64(st.SequentialFallbacks), "seq_fallbacks")
+		})
+	}
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a

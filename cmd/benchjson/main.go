@@ -9,10 +9,18 @@
 // pool hot path is contractually allocation-free; a regression here is
 // a build failure, not a graph wiggle.
 //
+// With -compare, benchjson diffs two of its own JSON files instead of
+// reading stdin: for every benchmark present in the old file, the new
+// file must contain it, stay within -tolerance percent on ns/op, and
+// not increase allocs/op at all. CI uses this to diff a fresh
+// BENCH_pool.json against the committed baseline and fail on
+// steady-state regressions.
+//
 // Usage:
 //
 //	go test -run xxx -bench BenchmarkPool -benchmem -benchtime=100x . |
 //	    go run ./cmd/benchjson -gate '^BenchmarkPool' > BENCH_pool.json
+//	go run ./cmd/benchjson -compare old.json new.json -tolerance 5
 package main
 
 import (
@@ -34,6 +42,15 @@ type record struct {
 }
 
 func main() {
+	// Compare mode is handled before flag.Parse so the documented CLI
+	// shape `-compare old.json new.json -tolerance 5` works (the flag
+	// package would stop parsing at the first positional argument).
+	for i, a := range os.Args[1:] {
+		if a == "-compare" || a == "--compare" {
+			os.Exit(runCompare(os.Args[1+i+1:]))
+		}
+	}
+
 	gate := flag.String("gate", "", "regexp of benchmark names whose allocs/op must not exceed -max-allocs")
 	maxAllocs := flag.Float64("max-allocs", 0, "allocation budget per op for gated benchmarks")
 	flag.Parse()
@@ -87,6 +104,110 @@ func main() {
 	if len(violations) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCompare implements `-compare old.json new.json [-tolerance PCT]`:
+// it prints a per-benchmark delta table and returns 1 when any
+// benchmark from the old file is missing, slower than the tolerance
+// allows, or allocates more. New-only benchmarks are reported but never
+// fail the comparison (they have no baseline yet).
+func runCompare(args []string) int {
+	tolerance := 5.0
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-tolerance", "--tolerance":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -tolerance needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -tolerance %q\n", args[i])
+				return 2
+			}
+			tolerance = v
+		default:
+			files = append(files, args[i])
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+		return 2
+	}
+	old, err := loadRecords(files[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	fresh, err := loadRecords(files[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newByName := make(map[string]record, len(fresh))
+	for _, r := range fresh {
+		newByName[r.Name] = r
+	}
+
+	var violations []string
+	seen := make(map[string]bool)
+	for _, o := range old {
+		seen[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from %s", o.Name, files[1]))
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		status := "ok"
+		if delta > tolerance {
+			status = "SLOWER"
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %.1f%%)",
+				o.Name, o.NsPerOp, n.NsPerOp, delta, tolerance))
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			status = "ALLOCS"
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %.0f -> %.0f", o.Name, o.AllocsPerOp, n.AllocsPerOp))
+		}
+		fmt.Printf("%-60s %12.0f %12.0f %+8.1f%% %7.0f %7.0f  %s\n",
+			o.Name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp, status)
+	}
+	for _, n := range fresh {
+		if !seen[n.Name] {
+			fmt.Printf("%-60s %12s %12.0f %9s %7s %7.0f  new\n",
+				n.Name, "-", n.NsPerOp, "-", "-", n.AllocsPerOp)
+		}
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchjson: regression: %s\n", v)
+	}
+	if len(violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadRecords reads one benchjson output file.
+func loadRecords(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return recs, nil
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

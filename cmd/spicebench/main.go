@@ -9,6 +9,7 @@
 //	-fig7     Spice loop speedups on the simulator, 2 and 4 threads (Figure 7)
 //	-fig8     value predictability study over both suites (Figure 8)
 //	-pool     native runtime concurrent-throughput table (beyond the paper)
+//	-adaptive native adaptive-speculation controller table (beyond the paper)
 //	-all      everything above in paper order
 package main
 
@@ -39,9 +40,10 @@ func main() {
 	f7 := flag.Bool("fig7", false, "Figure 7: Spice speedups")
 	f8 := flag.Bool("fig8", false, "Figure 8: value predictability")
 	pl := flag.Bool("pool", false, "native Pool concurrent throughput")
+	ad := flag.Bool("adaptive", false, "native adaptive speculation controller")
 	flag.Parse()
 
-	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl
+	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl || *ad
 	if !any && !*all {
 		flag.Usage()
 		os.Exit(2)
@@ -69,6 +71,9 @@ func main() {
 	}
 	if *all || *pl {
 		poolTable()
+	}
+	if *all || *ad {
+		adaptiveTable()
 	}
 }
 
@@ -218,7 +223,7 @@ func poolTable() {
 	head, _ := poolbench.BuildList(rng, 100_000)
 	const perSubmitter = 100
 
-	measure := func(threads, submitters int) (invPerSec float64, runners int) {
+	measure := func(threads, submitters int) (invPerSec float64, runners int, st spice.Stats) {
 		p, err := spice.NewPool(poolbench.Loop(), spice.PoolConfig{Config: spice.Config{Threads: threads}})
 		if err != nil {
 			fatal(err)
@@ -243,27 +248,93 @@ func poolTable() {
 		}
 		wg.Wait()
 		elapsed := time.Since(start).Seconds()
-		return float64(submitters*perSubmitter) / elapsed, p.Runners()
+		return float64(submitters*perSubmitter) / elapsed, p.Runners(), p.Stats()
 	}
 
-	tbl := &stats.Table{Header: []string{"threads", "submitters", "inv/s", "scale", "runner states"}}
+	tbl := &stats.Table{Header: []string{"threads", "submitters", "inv/s", "scale", "runner states", "hits", "misses"}}
 	for _, threads := range []int{2, 4} {
 		var base float64
 		for _, subs := range []int{1, 2, 4, 8} {
-			ips, runners := measure(threads, subs)
+			ips, runners, st := measure(threads, subs)
 			if subs == 1 {
 				base = ips
 			}
 			tbl.Add(threads, subs,
 				fmt.Sprintf("%.0f", ips),
 				fmt.Sprintf("%.2fx", ips/base),
-				runners)
+				runners, st.Hits, st.Misses)
 		}
 	}
 	fmt.Print(tbl.String())
 	fmt.Println("\n(100k-element shared list, 100 invocations per submitter; persistent")
 	fmt.Println(" workers, recycled runner states, zero steady-state allocations per Run —")
 	fmt.Println(" on a single-CPU host the scale column measures scheduling overhead only)")
+}
+
+// adaptiveTable measures the adaptive speculation controller (beyond
+// the paper): one stable list (the paper's friendly scenario) and one
+// fully unstable scenario (a different fresh-node list on every
+// invocation, so no prediction can ever materialize), each run with a
+// fixed-width runner and with the controller on. The table reports the
+// wall-clock ratio against single-threaded execution plus the
+// controller's own telemetry: prediction hits and misses, the
+// effective width it settled on, and how many invocations it shed to
+// sequential execution.
+func adaptiveTable() {
+	header("Native runtime: adaptive speculation (spice.Options)")
+
+	const listLen, invocations, nLists = 50_000, 120, 8
+	rng := rand.New(rand.NewSource(31))
+	stable, _ := poolbench.BuildList(rng, listLen)
+	hostile := make([]*poolbench.Node, nLists)
+	for i := range hostile {
+		hostile[i], _ = poolbench.BuildList(rng, listLen)
+	}
+
+	measure := func(cfg spice.Config, heads func(int) *poolbench.Node) (secs float64, st spice.Stats) {
+		r, err := spice.NewRunner(poolbench.Loop(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		for i := 0; i < nLists; i++ { // settle into steady state
+			r.MustRun(heads(i))
+		}
+		start := time.Now()
+		for i := 0; i < invocations; i++ {
+			r.MustRun(heads(i))
+		}
+		return time.Since(start).Seconds(), r.Stats()
+	}
+
+	tbl := &stats.Table{Header: []string{
+		"workload", "mode", "vs sequential", "hits", "misses", "eff threads", "seq fallbacks"}}
+	for _, w := range []struct {
+		name  string
+		heads func(int) *poolbench.Node
+	}{
+		{"stable", func(int) *poolbench.Node { return stable }},
+		{"unstable", func(i int) *poolbench.Node { return hostile[i%nLists] }},
+	} {
+		seq, _ := measure(spice.Config{Threads: 1}, w.heads)
+		for _, m := range []struct {
+			name string
+			cfg  spice.Config
+		}{
+			{"fixed t4", spice.Config{Threads: 4}},
+			{"adaptive t4", spice.Config{Threads: 4, Options: spice.Options{Adaptive: true}}},
+		} {
+			secs, st := measure(m.cfg, w.heads)
+			tbl.Add(w.name, m.name,
+				fmt.Sprintf("%.2fx", secs/seq),
+				st.Hits, st.Misses, st.EffectiveThreads, st.SequentialFallbacks)
+		}
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\n(ratios are wall-clock time relative to Threads:1 on the same workload;")
+	fmt.Println(" on the unstable workload fixed-width speculation does strictly more work")
+	fmt.Println(" than sequential execution, while the controller sheds speculation and")
+	fmt.Println(" tracks the sequential baseline, probing for re-stabilization)")
 }
 
 func fatal(err error) {

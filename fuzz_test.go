@@ -1,0 +1,141 @@
+package spice
+
+// Native Go fuzz targets. Both round-trip fuzzed inputs against the
+// sequential oracle / structural invariants; CI runs each for a short
+// smoke window (go test -fuzz=FuzzX -fuzztime=10s) on every push, and
+// the seed corpus below executes on every plain `go test` run.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRunnerOracle fuzzes the whole runner: trip counts (list sizes and
+// their evolution), chunk boundaries (thread count and the speculative
+// iteration cap, which moves where chunks break), and the mutation
+// regime, asserting every invocation equals the sequential oracle with
+// adaptive mode both on and off.
+func FuzzRunnerOracle(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(4), uint8(0), uint16(0))
+	f.Add(int64(2), uint16(300), uint8(2), uint8(1), uint16(64))
+	f.Add(int64(3), uint16(700), uint8(7), uint8(2), uint16(17))
+	f.Add(int64(-9), uint16(1), uint8(1), uint8(2), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, size uint16, threads, pattern uint8, maxSpec uint16) {
+		tc := int(threads%8) + 1
+		n := int(size%1024) + 1
+		patterns := []string{"predictable", "drifting", "adversarial"}
+		pat := patterns[int(pattern)%len(patterns)]
+		for _, adaptive := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(seed))
+			w := newOracleList(rng, pat, n)
+			r, err := NewRunner(w.loop(), Config{
+				Threads:      tc,
+				MaxSpecIters: int64(maxSpec),
+				Options:      Options{Adaptive: adaptive, ProbeInterval: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var iters int64
+			for inv := 0; inv < 6; inv++ {
+				want := seqOracle(w.loop(), w.head())
+				got, rerr := r.Run(context.Background(), w.head())
+				if rerr != nil {
+					t.Fatalf("adaptive=%v inv=%d: %v", adaptive, inv, rerr)
+				}
+				if got != want {
+					t.Fatalf("adaptive=%v inv=%d: got %+v want %+v", adaptive, inv, got, want)
+				}
+				iters += want.count
+				w.mutate()
+			}
+			if st := r.Stats(); st.TotalIters != iters {
+				t.Fatalf("adaptive=%v: TotalIters = %d, want %d", adaptive, st.TotalIters, iters)
+			}
+			r.Close()
+		}
+	})
+}
+
+// FuzzPredictorApply fuzzes the predictor in isolation: arbitrary memo
+// streams (rows, positions) against arbitrary totals must never panic,
+// must round-trip through snapshot, and must always yield structurally
+// sane plans (targets in range, thresholds positive and non-decreasing
+// per chunk — the order the memoization cursor consumes them in).
+func FuzzPredictorApply(f *testing.F) {
+	f.Add(uint8(4), int64(100), []byte{0, 10, 1, 50, 2, 90})
+	f.Add(uint8(2), int64(0), []byte{})
+	f.Add(uint8(8), int64(1), []byte{200, 255, 0, 0, 3, 3})
+	f.Fuzz(func(t *testing.T, threads uint8, total int64, data []byte) {
+		tc := int(threads%8) + 2
+		if total < 0 {
+			total = -total
+		}
+		total %= 1 << 40
+		p := newPredictor[int64](tc, false, false)
+		// Decode (row, pos) pairs from the fuzz bytes; values land both
+		// in and out of range on purpose.
+		var memos []memo[int64]
+		for i := 0; i+1 < len(data); i += 2 {
+			memos = append(memos, memo[int64]{
+				row:   int(data[i]) - 2, // exercises negative and overflowing rows
+				state: int64(i),
+				pos:   (int64(data[i+1]) * total) / 256,
+			})
+		}
+		p.apply(total, memos)
+
+		if p.prevTotal != total {
+			t.Fatalf("prevTotal = %d, want %d", p.prevTotal, total)
+		}
+		// Rows: last in-range memo per row wins; out-of-range memos are
+		// dropped.
+		want := make(map[int]memo[int64])
+		for _, m := range memos {
+			if m.row >= 0 && m.row < tc-1 {
+				want[m.row] = m
+			}
+		}
+		snap := p.snapshot()
+		if len(snap) != tc-1 {
+			t.Fatalf("snapshot rows = %d, want %d", len(snap), tc-1)
+		}
+		for k, r := range snap {
+			m, ok := want[k]
+			if r.valid != ok {
+				t.Fatalf("row %d valid=%v, want %v", k, r.valid, ok)
+			}
+			if ok && (r.start != m.state || r.pos != m.pos) {
+				t.Fatalf("row %d = %+v, want state=%d pos=%d", k, r, m.state, m.pos)
+			}
+		}
+		// Plans: every chunk's entries must target real rows with
+		// positive, non-decreasing thresholds, and the spec cap must
+		// stay positive.
+		for j := 0; j < tc; j++ {
+			last := int64(0)
+			for _, e := range p.planFor(j) {
+				if e.row < 0 || e.row >= tc-1 {
+					t.Fatalf("chunk %d plan targets row %d (rows=%d)", j, e.row, tc-1)
+				}
+				if e.local <= 0 {
+					t.Fatalf("chunk %d plan threshold %d not positive", j, e.local)
+				}
+				if e.local < last {
+					t.Fatalf("chunk %d plan thresholds decrease: %d after %d", j, e.local, last)
+				}
+				last = e.local
+			}
+		}
+		if p.specCap(0) <= 0 {
+			t.Fatalf("specCap = %d", p.specCap(0))
+		}
+		// A second apply with no memos must clear all rows (no stale
+		// predictions survive a generation swap).
+		p.apply(total/2, nil)
+		if p.havePredictions() {
+			t.Fatal("empty apply left predictions valid")
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package rt
+
+// This file is the shared adaptive speculation policy: the native
+// library (package spice) and the simulator balancer both drive the
+// same SpecController and RowConfidence types, so the two runtimes
+// throttle speculation identically by construction.
+//
+// The policy has two cooperating parts:
+//
+//   - RowConfidence scores each SVA row's recent prediction record (an
+//     EWMA of commit/squash outcomes). Rows below a confidence floor
+//     are not speculated on: their chunk is folded into the
+//     predecessor's instead of being dispatched and squashed.
+//   - SpecController tracks a rolling mis-speculation rate across
+//     invocations and throttles the effective thread count: repeated
+//     losing invocations halve the parallel width, degrading smoothly
+//     down to pure sequential execution. Every ProbeInterval
+//     invocations at a reduced width, one invocation probes a higher
+//     width (bypassing the confidence gate so gated rows can earn
+//     their confidence back); a clean probe promotes, a dirty one is
+//     abandoned at bounded cost.
+//
+// Both parts are plain scalar state: no allocation after construction,
+// so the native runtime's steady-state 0 allocs/op contract holds with
+// the controller enabled.
+
+const (
+	// specEWMAAlpha weighs the newest invocation outcome into the
+	// rolling mis-speculation rate. 0.25 demotes after three
+	// consecutive losing invocations from a clean history.
+	specEWMAAlpha = 0.25
+	// specDemoteAt is the rolling-rate high-water mark above which the
+	// effective thread count is halved.
+	specDemoteAt = 0.5
+	// specConfAlpha weighs the newest chunk outcome into a row's
+	// confidence score. 0.5 gates a row after three consecutive
+	// squashes from full confidence.
+	specConfAlpha = 0.5
+	// specConfInit is the neutral confidence a fresh row starts from —
+	// above the default floor, so new predictions get to prove
+	// themselves.
+	specConfInit = 0.5
+
+	// DefaultMinConfidence is the confidence floor applied when the
+	// caller enables adaptive mode without choosing one.
+	DefaultMinConfidence = 0.25
+	// DefaultProbeInterval is the number of observed invocations
+	// between upward probes when the caller does not choose one.
+	DefaultProbeInterval = 8
+)
+
+// RowConfidence tracks one confidence score per SVA row. A row's score
+// is an EWMA over the outcomes of the speculative chunks dispatched
+// from its prediction: commit (hit) pulls toward 1, squash (miss)
+// toward 0. Not safe for concurrent use; confine to the owner's
+// invocation cycle.
+type RowConfidence struct {
+	score []float64
+}
+
+// NewRowConfidence creates scores for rows SVA rows, all neutral.
+func NewRowConfidence(rows int) *RowConfidence {
+	if rows < 0 {
+		rows = 0
+	}
+	rc := &RowConfidence{score: make([]float64, rows)}
+	rc.Reset()
+	return rc
+}
+
+// Reset returns every row to the neutral starting score. Pools reset
+// confidence when a runner moves between sessions, so one caller's
+// hostile structure cannot poison another's speculation.
+func (rc *RowConfidence) Reset() {
+	for i := range rc.score {
+		rc.score[i] = specConfInit
+	}
+}
+
+// Hit records a committed speculative chunk for row.
+func (rc *RowConfidence) Hit(row int) {
+	if row < 0 || row >= len(rc.score) {
+		return
+	}
+	rc.score[row] += specConfAlpha * (1 - rc.score[row])
+}
+
+// Miss records a squashed speculative chunk for row.
+func (rc *RowConfidence) Miss(row int) {
+	if row < 0 || row >= len(rc.score) {
+		return
+	}
+	rc.score[row] -= specConfAlpha * rc.score[row]
+}
+
+// Score returns row's current confidence in [0, 1].
+func (rc *RowConfidence) Score(row int) float64 {
+	if row < 0 || row >= len(rc.score) {
+		return 0
+	}
+	return rc.score[row]
+}
+
+// Admit reports whether row clears the confidence floor.
+func (rc *RowConfidence) Admit(row int, minConfidence float64) bool {
+	return rc.Score(row) >= minConfidence
+}
+
+// SpecController is the invocation-level throttle: it converts a
+// rolling mis-speculation rate into an effective thread count and
+// schedules the upward probes that re-expand parallelism once the loop
+// re-stabilizes. Drive it with Begin before each invocation and
+// Observe after each successful one (failed invocations carry no
+// prediction verdict and are skipped). Not safe for concurrent use.
+type SpecController struct {
+	threads       int
+	probeInterval int64
+
+	eff      int
+	rate     float64 // EWMA of per-invocation misspeculation
+	observed int64   // invocations observed since the last level change
+	probing  bool
+	probeEff int
+}
+
+// NewSpecController builds a controller for the configured thread
+// count. probeInterval <= 0 selects DefaultProbeInterval.
+func NewSpecController(threads int, probeInterval int64) *SpecController {
+	if threads < 1 {
+		threads = 1
+	}
+	if probeInterval <= 0 {
+		probeInterval = DefaultProbeInterval
+	}
+	return &SpecController{threads: threads, probeInterval: probeInterval, eff: threads}
+}
+
+// Reset restores the unthrottled initial state (full width, clean
+// history). Pools reset the controller when a runner moves between
+// sessions.
+func (c *SpecController) Reset() {
+	c.eff = c.threads
+	c.rate = 0
+	c.observed = 0
+	c.probing = false
+}
+
+// Begin decides the upcoming invocation's effective thread count.
+// probe is true when this invocation is an upward probe: the caller
+// should bypass the confidence gate (so gated rows can revalidate) and
+// tighten the runaway-speculation cap (so a failed probe costs a
+// bounded amount of wasted work).
+func (c *SpecController) Begin() (eff int, probe bool) {
+	c.probing = false
+	if c.threads <= 1 {
+		return 1, false
+	}
+	if c.eff < c.threads && c.observed >= c.probeInterval {
+		c.probing = true
+		c.probeEff = c.eff * 2
+		if c.probeEff > c.threads {
+			c.probeEff = c.threads
+		}
+		// Consume the probe budget here, not in Observe: a probe whose
+		// invocation fails never reaches Observe, and without this it
+		// would fire again on every subsequent invocation.
+		c.observed = 0
+		return c.probeEff, true
+	}
+	return c.eff, false
+}
+
+// SpecOutcome classifies one finished invocation for Observe.
+type SpecOutcome int
+
+const (
+	// SpecClean: the invocation ran (parallel or throttled-sequential)
+	// and squashed nothing.
+	SpecClean SpecOutcome = iota
+	// SpecMisspec: at least one speculative chunk was squashed.
+	SpecMisspec
+	// SpecGated: every predicted row was below the confidence floor,
+	// so the invocation fell back to sequential execution despite a
+	// wider allowed width. The controller treats this as an immediate
+	// demotion to width 1: the confidence gate has already judged
+	// speculation unprofitable, and dropping to 1 starts the probe
+	// clock that will later test re-expansion.
+	SpecGated
+	// SpecSkipped: the invocation ran sequentially because no
+	// predictions existed (bootstrap); it carries no speculation
+	// verdict. A probe resolved as SpecSkipped is abandoned without
+	// promoting.
+	SpecSkipped
+)
+
+// Observe feeds back the outcome of the invocation started by the last
+// Begin. A clean probe promotes to the probed width; any other probe
+// outcome is abandoned and the probe clock restarts. Outside probes
+// the rolling rate demotes (halves the width) when it crosses the
+// high-water mark, and a gated fallback demotes straight to width 1.
+func (c *SpecController) Observe(outcome SpecOutcome) {
+	if c.probing {
+		c.probing = false
+		c.observed = 0
+		if outcome == SpecClean {
+			c.eff = c.probeEff
+			c.rate = 0
+		}
+		return
+	}
+	switch outcome {
+	case SpecSkipped:
+		c.observed++
+		return
+	case SpecGated:
+		if c.eff > 1 {
+			c.eff = 1
+			c.rate = specDemoteAt / 2
+			// Start the probe clock fresh: clean history from the old
+			// width must not let a probe fire on the next invocation.
+			c.observed = 0
+		} else {
+			c.observed++
+		}
+		return
+	}
+	x := 0.0
+	if outcome == SpecMisspec {
+		x = 1
+	}
+	c.rate = (1-specEWMAAlpha)*c.rate + specEWMAAlpha*x
+	c.observed++
+	if c.rate > specDemoteAt && c.eff > 1 {
+		c.eff /= 2
+		if c.eff < 1 {
+			c.eff = 1
+		}
+		// Leave headroom below the mark: the reduced width needs fresh
+		// losses, not the old level's history, to demote again.
+		c.rate = specDemoteAt / 2
+		c.observed = 0
+	}
+}
+
+// Effective returns the current effective thread count.
+func (c *SpecController) Effective() int { return c.eff }
+
+// Rate returns the rolling mis-speculation rate estimate.
+func (c *SpecController) Rate() float64 { return c.rate }
+
+// ProbeSpecCap tightens a speculative iteration cap for a probe
+// invocation: a probe chunk is expected to cover about total/chunks
+// iterations, so capping at twice that (plus slack for small loops)
+// bounds the work a failed probe can waste while never capping a
+// healthy probe chunk early.
+func ProbeSpecCap(cap64, total int64, chunks int) int64 {
+	if total <= 0 || chunks < 1 {
+		return cap64
+	}
+	c := 2*total/int64(chunks) + 256
+	if c < cap64 {
+		return c
+	}
+	return cap64
+}

@@ -1,0 +1,395 @@
+package rt
+
+import (
+	"testing"
+
+	"spice/internal/sim"
+)
+
+// --- SpecController state machine ------------------------------------
+
+func TestSpecControllerDemotesUnderSustainedMisspec(t *testing.T) {
+	c := NewSpecController(8, 4)
+	if c.Effective() != 8 {
+		t.Fatalf("initial eff = %d", c.Effective())
+	}
+	// Three consecutive losing invocations cross the high-water mark.
+	for i := 0; i < 3; i++ {
+		if eff, probe := c.Begin(); eff != 8 || probe {
+			t.Fatalf("pre-demotion Begin = %d,%v", eff, probe)
+		}
+		c.Observe(SpecMisspec)
+	}
+	if c.Effective() != 4 {
+		t.Fatalf("after 3 losses eff = %d, want 4", c.Effective())
+	}
+	// Keep losing: the width halves down to pure sequential.
+	for i := 0; i < 20 && c.Effective() > 1; i++ {
+		c.Begin()
+		c.Observe(SpecMisspec)
+	}
+	if c.Effective() != 1 {
+		t.Fatalf("sustained losses left eff = %d, want 1", c.Effective())
+	}
+}
+
+func TestSpecControllerProbesAndPromotes(t *testing.T) {
+	c := NewSpecController(4, 3)
+	c.Observe(SpecGated) // demote straight to sequential
+	if c.Effective() != 1 {
+		t.Fatalf("gated fallback left eff = %d", c.Effective())
+	}
+	// Not yet: the gated demotion restarts the probe clock, which needs
+	// probeInterval observations from zero.
+	for i := 0; i < 3; i++ {
+		if _, probe := c.Begin(); probe {
+			t.Fatalf("probe fired %d observations after demotion", i)
+		}
+		c.Observe(SpecClean)
+	}
+	eff, probe := c.Begin()
+	if !probe || eff != 2 {
+		t.Fatalf("expected a width-2 probe, got %d,%v", eff, probe)
+	}
+	// A clean probe promotes; a dirty one is abandoned.
+	c.Observe(SpecClean)
+	if c.Effective() != 2 {
+		t.Fatalf("clean probe did not promote: eff = %d", c.Effective())
+	}
+	for i := 0; i < 3; i++ {
+		c.Begin()
+		c.Observe(SpecClean)
+	}
+	eff, probe = c.Begin()
+	if !probe || eff != 4 {
+		t.Fatalf("expected a width-4 probe, got %d,%v", eff, probe)
+	}
+	c.Observe(SpecMisspec)
+	if c.Effective() != 2 {
+		t.Fatalf("dirty probe changed eff to %d", c.Effective())
+	}
+	// A probe resolved as skipped (no predictions) must not promote.
+	for i := 0; i < 3; i++ {
+		c.Begin()
+		c.Observe(SpecClean)
+	}
+	if _, probe = c.Begin(); !probe {
+		t.Fatal("probe clock did not restart after the dirty probe")
+	}
+	c.Observe(SpecSkipped)
+	if c.Effective() != 2 {
+		t.Fatalf("skipped probe promoted eff to %d", c.Effective())
+	}
+}
+
+// TestSpecControllerFailedProbeDoesNotRepeat: a probe whose invocation
+// fails never reaches Observe; the next Begin must wait out a full
+// probe interval again instead of probing on every invocation.
+func TestSpecControllerFailedProbeDoesNotRepeat(t *testing.T) {
+	c := NewSpecController(4, 2)
+	c.Observe(SpecGated)
+	for i := 0; i < 2; i++ {
+		c.Begin()
+		c.Observe(SpecClean)
+	}
+	if _, probe := c.Begin(); !probe {
+		t.Fatal("expected a probe after the interval")
+	}
+	// The probed invocation errors out: no Observe. The probe budget
+	// must already be consumed.
+	if _, probe := c.Begin(); probe {
+		t.Fatal("failed probe repeated on the very next invocation")
+	}
+	if eff := c.Effective(); eff != 1 {
+		t.Fatalf("failed probe changed eff to %d", eff)
+	}
+}
+
+func TestSpecControllerResetRestoresFullWidth(t *testing.T) {
+	c := NewSpecController(4, 2)
+	for i := 0; i < 10; i++ {
+		c.Begin()
+		c.Observe(SpecMisspec)
+	}
+	if c.Effective() == 4 {
+		t.Fatal("losses did not throttle")
+	}
+	c.Reset()
+	if c.Effective() != 4 || c.Rate() != 0 {
+		t.Fatalf("Reset left eff=%d rate=%v", c.Effective(), c.Rate())
+	}
+}
+
+func TestRowConfidenceScoresAndGate(t *testing.T) {
+	rc := NewRowConfidence(3)
+	if !rc.Admit(0, DefaultMinConfidence) {
+		t.Fatal("fresh row below the default floor")
+	}
+	rc.Miss(0)
+	rc.Miss(0)
+	if rc.Admit(0, DefaultMinConfidence) {
+		t.Fatalf("two misses left score %v above the floor", rc.Score(0))
+	}
+	rc.Hit(0)
+	if !rc.Admit(0, DefaultMinConfidence) {
+		t.Fatalf("a hit did not restore admission (score %v)", rc.Score(0))
+	}
+	// Out-of-range rows are inert, never admitted.
+	rc.Hit(7)
+	rc.Miss(-1)
+	if rc.Admit(7, 0.1) {
+		t.Fatal("out-of-range row admitted")
+	}
+	rc.Reset()
+	if rc.Score(0) != specConfInit {
+		t.Fatalf("Reset left score %v", rc.Score(0))
+	}
+}
+
+func TestProbeSpecCapTightens(t *testing.T) {
+	if c := ProbeSpecCap(1<<20, 10_000, 2); c != 2*10_000/2+256 {
+		t.Fatalf("probe cap = %d", c)
+	}
+	// Never loosens, and ignores degenerate inputs.
+	if c := ProbeSpecCap(100, 10_000, 2); c != 100 {
+		t.Fatalf("probe cap loosened to %d", c)
+	}
+	if c := ProbeSpecCap(500, 0, 2); c != 500 {
+		t.Fatalf("zero-total probe cap = %d", c)
+	}
+}
+
+// --- Machine mirror ---------------------------------------------------
+
+// adaptiveMachine builds a 4-thread machine with adaptive planning on
+// and one memoized row per boundary, simulating invocation ends by
+// storing per-thread works and calling Plan.
+func adaptiveMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(sim.DefaultConfig(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableAdaptive(0, 2)
+	return m
+}
+
+// memoizeAllRows writes a valid next-generation entry for every SVA row
+// with positions matching balanced 100-iteration chunks.
+func memoizeAllRows(t *testing.T, m *Machine) {
+	t.Helper()
+	for row := int64(0); row < 3; row++ {
+		w, err := m.SVAWriteAddr(row, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(w, 1000+row)
+		posA, writerA, err := m.SVANoteAddrs(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(posA, 100)
+		m.Mem.MustStore(writerA, row) // thread `row` captured it
+		va, err := m.SVASetValidAddr(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(va, 1)
+	}
+}
+
+// planInvocation stores a balanced work array and runs Plan.
+func planInvocation(t *testing.T, m *Machine, misspec bool) {
+	t.Helper()
+	for i := 0; i < m.NThreads; i++ {
+		m.Mem.MustStore(m.WorkAddr(i), 100)
+	}
+	m.resteeredThisInvo = misspec
+	if _, err := m.Plan(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineAdaptiveGatesLowConfidenceRows(t *testing.T) {
+	m := adaptiveMachine(t)
+	// Row 1's predictions keep getting squashed.
+	m.rowConf.Miss(1)
+	m.rowConf.Miss(1)
+	memoizeAllRows(t, m)
+	planInvocation(t, m, false)
+	if _, valid := m.CurrentRow(0); !valid {
+		t.Error("confident row 0 was gated")
+	}
+	if _, valid := m.CurrentRow(1); valid {
+		t.Error("low-confidence row 1 left valid")
+	}
+	if _, valid := m.CurrentRow(2); !valid {
+		t.Error("confident row 2 was gated")
+	}
+}
+
+func TestMachineAdaptiveThrottlesWidthAndProbes(t *testing.T) {
+	m := adaptiveMachine(t)
+	// Sustained mis-speculation: the planner narrows until no rows
+	// survive (sequential execution).
+	for i := 0; i < 8; i++ {
+		memoizeAllRows(t, m)
+		planInvocation(t, m, true)
+	}
+	eff, _ := m.AdaptiveState()
+	if eff != 1 {
+		t.Fatalf("sustained misspec left eff = %d", eff)
+	}
+	for row := int64(0); row < 3; row++ {
+		if _, valid := m.CurrentRow(row); valid {
+			t.Fatalf("throttled plan left row %d valid", row)
+		}
+	}
+	if m.Stats.EffectiveThreads != 1 {
+		t.Fatalf("Stats.EffectiveThreads = %d", m.Stats.EffectiveThreads)
+	}
+	// Re-stabilized loop: clean invocations advance the probe clock;
+	// the probe keeps rows valid (bypassing the confidence gate), and
+	// clean probes promote back toward full width.
+	sawProbeRows := false
+	for i := 0; i < 20; i++ {
+		memoizeAllRows(t, m)
+		planInvocation(t, m, false)
+		if _, valid := m.CurrentRow(0); valid {
+			sawProbeRows = true
+		}
+		if eff, _ := m.AdaptiveState(); eff == 4 {
+			break
+		}
+	}
+	if !sawProbeRows {
+		t.Error("probes never re-validated rows")
+	}
+	if eff, _ := m.AdaptiveState(); eff != 4 {
+		t.Errorf("clean probes failed to re-expand: eff = %d", eff)
+	}
+}
+
+// memoizeViaPlan emulates the memoization side of Algorithm 2 for the
+// main thread of a sequential invocation of `total` iterations: it
+// consumes thread 0's svat/svai lists exactly as the generated code
+// would, writing each targeted row or candidate slot at its threshold
+// position. Unlike memoizeAllRows this writes nothing the installed
+// plan did not ask for.
+func memoizeViaPlan(t *testing.T, m *Machine, total int64) {
+	t.Helper()
+	for {
+		thr := m.LBThreshold(0)
+		if thr == InfThreshold || thr > total {
+			return
+		}
+		idx := m.LBIndex(0)
+		w, err := m.SVAWriteAddr(idx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(w, 5000+thr)
+		posA, wrA, err := m.SVANoteAddrs(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(posA, thr)
+		m.Mem.MustStore(wrA, 0)
+		va, err := m.SVASetValidAddr(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.MustStore(va, 1)
+		m.LBAdvance(0)
+	}
+}
+
+// TestMachineAdaptiveSequentialReexpands closes the loop the native
+// runtime closes via runSequential's candidate sampling: once the
+// planner is throttled to width 1 it must re-arm bootstrap
+// memoization, so that probes find freshly sampled rows and a
+// re-stabilized simulation climbs back to full width. Memoization here
+// follows the installed plan only — no rows are written by hand — so a
+// planner that stops planning at width 1 fails this test.
+func TestMachineAdaptiveSequentialReexpands(t *testing.T) {
+	m := adaptiveMachine(t)
+	for i := 0; i < 10; i++ {
+		memoizeAllRows(t, m)
+		planInvocation(t, m, true)
+	}
+	if eff, _ := m.AdaptiveState(); eff != 1 {
+		t.Fatalf("misspec phase left eff = %d, want 1", eff)
+	}
+	// Re-stabilized: every invocation runs sequentially on thread 0,
+	// memoizing strictly what the plan installed.
+	for i := 0; i < 30; i++ {
+		memoizeViaPlan(t, m, 400)
+		for tid := 1; tid < m.NThreads; tid++ {
+			m.Mem.MustStore(m.WorkAddr(tid), 0)
+		}
+		m.Mem.MustStore(m.WorkAddr(0), 400)
+		m.resteeredThisInvo = false
+		if _, err := m.Plan(); err != nil {
+			t.Fatal(err)
+		}
+		if eff, _ := m.AdaptiveState(); eff == m.NThreads {
+			return
+		}
+	}
+	eff, _ := m.AdaptiveState()
+	t.Fatalf("sequential throttle is a one-way door: eff = %d after 30 clean invocations", eff)
+}
+
+// TestMachineEmptyGenerationIsSkippedNotGated: a plan generation with
+// no memoized rows at all is the native no-predictions path
+// (SpecSkipped), not a confidence-gate fallback — it must not demote
+// the width, keeping the simulator aligned with the native runner.
+func TestMachineEmptyGenerationIsSkippedNotGated(t *testing.T) {
+	m := adaptiveMachine(t)
+	for i := 0; i < 6; i++ {
+		planInvocation(t, m, false) // nothing memoized: every row invalid
+	}
+	if eff, _ := m.AdaptiveState(); eff != m.NThreads {
+		t.Fatalf("empty generations demoted eff to %d; want %d (SpecSkipped carries no verdict)",
+			eff, m.NThreads)
+	}
+}
+
+func TestMachineCommitDiscardFeedConfidence(t *testing.T) {
+	m := adaptiveMachine(t)
+	if err := m.SpecEnter(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CommitThread(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.SpecHits != 1 {
+		t.Fatalf("SpecHits = %d", m.Stats.SpecHits)
+	}
+	if m.rowConf.Score(0) <= specConfInit {
+		t.Error("commit did not raise row 0 confidence")
+	}
+	if err := m.SpecEnter(2); err != nil {
+		t.Fatal(err)
+	}
+	m.DiscardThread(2)
+	if m.Stats.SpecMisses != 1 {
+		t.Fatalf("SpecMisses = %d", m.Stats.SpecMisses)
+	}
+	if m.rowConf.Score(1) >= specConfInit {
+		t.Error("discard did not lower row 1 confidence")
+	}
+	// The main thread's commit/discard carries no row verdict, and idle
+	// (never-entered) discards stay silent.
+	if err := m.SpecEnter(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CommitThread(0); err != nil {
+		t.Fatal(err)
+	}
+	m.DiscardThread(3)
+	if m.Stats.SpecHits != 1 || m.Stats.SpecMisses != 1 {
+		t.Errorf("tid-0 commit or idle discard counted: hits=%d misses=%d",
+			m.Stats.SpecHits, m.Stats.SpecMisses)
+	}
+}

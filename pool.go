@@ -52,6 +52,9 @@ func NewPool[S comparable, A any](loop Loop[S, A], cfg PoolConfig) (*Pool[S, A],
 	if cfg.Config.Executor != nil {
 		return nil, ErrPoolExecutor
 	}
+	if err := cfg.Config.validate(); err != nil {
+		return nil, err
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -121,7 +124,7 @@ func (p *Pool[S, A]) Session() (*Session[S, A], error) {
 	if err != nil {
 		return nil, err
 	}
-	r.pred.reset()
+	r.reset()
 	return &Session[S, A]{p: p, r: r}, nil
 }
 
@@ -154,12 +157,15 @@ func (s *Session[S, A]) Stats() Stats {
 }
 
 // Close returns the runner to the pool. The session must not be used
-// afterwards; Close is idempotent.
+// afterwards; Close is idempotent. All cross-invocation adaptation —
+// predictions, row confidence, the adaptive throttle — is reset on the
+// way out (and again on the way into the next session), so nothing a
+// session learned on its structure can bleed into another caller's.
 func (s *Session[S, A]) Close() {
 	if s.r == nil {
 		return
 	}
-	s.r.pred.reset()
+	s.r.reset()
 	s.p.release(s.r)
 	s.r = nil
 }
@@ -209,9 +215,11 @@ func (p *Pool[S, A]) Stats() Stats {
 	for _, r := range p.all {
 		r.stats.addInto(&s)
 	}
+	s.EffectiveThreads = int64(p.cfg.Threads) // before any release: the configured width
 	if p.last != nil {
 		last := p.last.Stats()
 		s.LastWorks = last.LastWorks
+		s.EffectiveThreads = last.EffectiveThreads
 	}
 	return s
 }

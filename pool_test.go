@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"spice/internal/rt"
 )
 
 // --- Executor ---------------------------------------------------------
@@ -123,6 +125,20 @@ func TestPoolValidation(t *testing.T) {
 	defer e.Close()
 	if _, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 2, Executor: e}}); err == nil {
 		t.Error("external executor accepted")
+	}
+	if _, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 2,
+		Options: Options{MinConfidence: 1.5}}}); err == nil {
+		t.Error("out-of-range MinConfidence accepted")
+	}
+	// A fresh pool reports the configured width before any runner is
+	// released, not zero.
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if eff := p.Stats().EffectiveThreads; eff != 4 {
+		t.Errorf("fresh pool EffectiveThreads = %d, want 4", eff)
 	}
 }
 
@@ -470,6 +486,139 @@ func TestRecoveryThroughPool(t *testing.T) {
 	}
 	if st := p.Stats(); st.Recoveries == 0 {
 		t.Error("cap of 300 on 2000-element lists never triggered recovery")
+	}
+}
+
+// --- Adaptive sessions ------------------------------------------------
+
+// TestPoolAdaptiveSessionStress drives concurrent sessions over
+// distinct structures with adaptive throttling active: half the
+// submitters traverse stable lists (must keep full width), half
+// traverse fully unstable ones (must throttle), and every result must
+// equal the sequential reference. Run under -race this is the
+// acceptance test for the controller in the concurrent front door.
+func TestPoolAdaptiveSessionStress(t *testing.T) {
+	const submitters = 8
+	p, err := NewPool(xorLoop(), PoolConfig{
+		Config: Config{Threads: 4, Options: Options{Adaptive: true, ProbeInterval: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make(chan string, submitters)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, serr := p.Session()
+			if serr != nil {
+				t.Error(serr)
+				return
+			}
+			defer s.Close()
+			hostile := g%2 == 1
+			l := newTestList(600+31*g, int64(500+g))
+			for inv := 0; inv < 20; inv++ {
+				want := sequential(xorLoop(), l.head)
+				if got := s.MustRun(l.head); got != want {
+					errs <- "adaptive session result diverged from sequential reference"
+					return
+				}
+				if hostile {
+					l = newTestList(600+31*g, int64(9000+100*g+inv)) // fresh nodes: fully unstable
+				} else {
+					l.churn()
+				}
+			}
+			st := s.Stats()
+			if hostile && st.SequentialFallbacks == 0 {
+				errs <- "hostile session never fell back to sequential execution"
+			}
+			if !hostile && st.EffectiveThreads != 4 {
+				errs <- "stable session lost parallel width to a hostile neighbour"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestSessionNoAdaptiveBleed is the regression guard for the
+// runner-recycling path: a session that hammered a runner's confidence
+// and throttle state on a hostile structure must hand back a fully
+// reset runner, so the next session (which recycles it via the free
+// list) starts at full width with neutral confidence.
+func TestSessionNoAdaptiveBleed(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{
+		Config: Config{Threads: 4, Options: Options{Adaptive: true, ProbeInterval: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Session 1: fully unstable traversal until throttled to width 1.
+	s1, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inv := 0; inv < 30; inv++ {
+		l := newTestList(800, int64(3000+inv))
+		want := sequential(xorLoop(), l.head)
+		if got := s1.MustRun(l.head); got != want {
+			t.Fatalf("hostile inv %d mismatch", inv)
+		}
+	}
+	if eff := s1.Stats().EffectiveThreads; eff != 1 {
+		t.Fatalf("hostile session not throttled (eff=%d); bleed test needs a poisoned runner", eff)
+	}
+	r1 := s1.r
+	s1.Close()
+
+	// Session 2 recycles the same runner off the free list. With a huge
+	// ProbeInterval, any leftover throttle or gated confidence would
+	// keep it sequential for the whole test — the reset must not leave
+	// any.
+	s2, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.r != r1 {
+		t.Fatalf("free list did not recycle the poisoned runner (%p vs %p)", s2.r, r1)
+	}
+	if eff := s2.Stats().EffectiveThreads; eff != 4 {
+		t.Fatalf("recycled runner starts at eff=%d, want 4", eff)
+	}
+	for k := range r1.pred.rows {
+		if r1.pred.rows[k].valid {
+			t.Fatal("recycled runner kept another session's predictions")
+		}
+		if !r1.pred.conf.Admit(k, rt.DefaultMinConfidence) {
+			t.Fatalf("recycled runner kept gated confidence for row %d", k)
+		}
+	}
+	before := s2.Stats()
+	l := newTestList(900, 4)
+	for inv := 0; inv < 10; inv++ {
+		want := sequential(xorLoop(), l.head)
+		if got := s2.MustRun(l.head); got != want {
+			t.Fatalf("stable inv %d mismatch", inv)
+		}
+		l.churn()
+	}
+	st := s2.Stats()
+	if st.SequentialFallbacks != before.SequentialFallbacks {
+		t.Errorf("recycled runner fell back %d times on a stable list",
+			st.SequentialFallbacks-before.SequentialFallbacks)
+	}
+	if st.EffectiveThreads != 4 {
+		t.Errorf("recycled runner ended at eff=%d on a stable list", st.EffectiveThreads)
 	}
 }
 

@@ -1,5 +1,7 @@
 package spice
 
+import "spice/internal/rt"
+
 // This file is the predictor layer: the memoizing value-predictor state
 // of Section 4 (the SVA rows holding speculated chunk-start states) plus
 // the central planning component that decides, from each invocation's
@@ -66,6 +68,11 @@ type predictor[S comparable] struct {
 	memoizeOnce bool
 
 	rows []row[S]
+	// conf scores each row's recent prediction record (shared policy
+	// with the simulator, see internal/rt/adaptive.go). Always
+	// maintained — it feeds Stats.Hits/Misses — but only gates
+	// dispatch when the runner's adaptive controller is on.
+	conf *rt.RowConfidence
 	// plans[j] holds chunk j's memoization entries for the upcoming
 	// invocation, ascending by local threshold.
 	plans [][]planEntry
@@ -86,6 +93,7 @@ func newPredictor[S comparable](threads int, positional, memoizeOnce bool) *pred
 		positional:  positional,
 		memoizeOnce: memoizeOnce,
 		rows:        make([]row[S], threads-1),
+		conf:        rt.NewRowConfidence(threads - 1),
 		scratch:     make([]row[S], threads-1),
 		plans:       make([][]planEntry, threads),
 		startsBf:    make([]int64, threads),
@@ -102,6 +110,7 @@ func (p *predictor[S]) reset() {
 	for j := range p.plans {
 		p.plans[j] = p.plans[j][:0]
 	}
+	p.conf.Reset()
 	p.prevTotal = 0
 	p.frozen = false
 }

@@ -19,35 +19,40 @@ import "context"
 // global iteration position, brokenRow the SVA row the breaking chunk
 // was hunting, rows the invocation's prediction snapshot. It returns the
 // merged remainder accumulator, the iterations committed, whether any
-// recovery chunk was squashed, and the first failure in iteration order
-// (ctx cancellation, body error, or contained panic) — a deadline
-// cannot be ignored by recovery rounds: each round re-checks ctx before
-// dispatching and its chunks poll while running. Memoizations are
-// appended to the scheduler's memo buffer at exact global positions;
-// squash and recovery counters are updated on the runner's stats
-// directly.
-func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos int64, brokenRow int, rows []row[S]) (A, int64, bool, error) {
+// recovery chunk was squashed (anySquash, feeding MisspecInvocations),
+// whether any squash was judged a genuine misprediction (verdictMiss,
+// feeding the adaptive controller — squashes behind a chunk that merely
+// capped again are excluded, like the primary round's), and the first
+// failure in iteration order (ctx cancellation, body error, or
+// contained panic) — a deadline cannot be ignored by recovery rounds:
+// each round re-checks ctx before dispatching and its chunks poll while
+// running. Memoizations are appended to the scheduler's memo buffer at
+// exact global positions; squash and recovery counters are updated on
+// the runner's stats directly.
+func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos int64, brokenRow int, rows []row[S], probe bool) (A, int64, bool, bool, error) {
 	s := r.sched
 	cap64 := r.pred.specCap(r.cfg.MaxSpecIters)
 	acc := r.loop.Init()
 	haveAcc := false
 	var recWork int64
 	misspec := false
+	verdictMiss := false
 	cur := start
 	next := brokenRow // first candidate row for this round
 
 	for {
 		if cerr := ctx.Err(); cerr != nil {
-			return acc, recWork, misspec, cerr
+			return acc, recWork, misspec, verdictMiss, cerr
 		}
 		r.stats.recoveries.Add(1)
 
-		// Remaining predicted starts, in row order. The broken row is
-		// retried once here: the breaking chunk may simply have capped
-		// before reaching it.
+		// Remaining predicted starts, in row order, subject to the same
+		// adaptive confidence gate as primary dispatch. The broken row
+		// is retried once here: the breaking chunk may simply have
+		// capped before reaching it.
 		cands := s.candBuf[:0]
 		for k := next; k >= 0 && k < len(rows); k++ {
-			if rows[k].valid {
+			if rows[k].valid && r.admitRow(k, probe) {
 				cands = append(cands, k)
 			}
 		}
@@ -130,12 +135,29 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 		}
 		if runErr != nil {
 			r.stats.squashedIters.Add(s.results[broke].work)
-			return acc, recWork, misspec, runErr
+			return acc, recWork, misspec, verdictMiss, runErr
+		}
+
+		// Confidence verdicts, mirroring the primary round: committed
+		// speculative recovery chunks are hits for their rows. Squashed
+		// ones are misses only when the round broke on a chunk that ran
+		// out of traversal; behind a chunk that merely capped again the
+		// squash is a capacity artifact and the rows are retried by the
+		// next round. Failed rounds (above) record nothing — an aborted
+		// chunk's squash says nothing about its prediction.
+		capArtifact := s.results[broke].capped
+		for i := 1; i < n; i++ {
+			if i <= broke {
+				r.noteHit(cands[i-1])
+			} else if !capArtifact {
+				r.noteMiss(cands[i-1])
+				verdictMiss = true
+			}
 		}
 
 		res := &s.results[broke]
 		if !res.capped {
-			return acc, recWork, misspec, nil // reached the end of the traversal
+			return acc, recWork, misspec, verdictMiss, nil // reached the end of the traversal
 		}
 		// Capped again: next round resumes from the new live position.
 		// The row this chunk was hunting had its retry; drop it. Each

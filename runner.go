@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"spice/internal/rt"
 )
 
 // Runner executes invocations of a Spice-parallelized loop. It composes
@@ -26,17 +28,41 @@ type Runner[S comparable, A any] struct {
 	ownsExec bool
 	running  atomic.Bool
 	stats    runnerStats
+
+	// Adaptive speculation controller (nil when Options.Adaptive is
+	// off): shared policy implementation with the simulator balancer
+	// (internal/rt/adaptive.go). Confined to the Run cycle like the
+	// predictor — a Pool hands each in-flight invocation its own
+	// runner.
+	ctrl    *rt.SpecController
+	minConf float64
+
+	// seqCands is runSequential's reusable bootstrap-sample buffer, so
+	// the sequential path (the adaptive fallback's steady state) is as
+	// allocation-free as the parallel one.
+	seqCands []seqCand[S]
+}
+
+// seqCand is one bootstrap memoization candidate sampled by
+// runSequential at a power-of-two position.
+type seqCand[S comparable] struct {
+	state S
+	pos   int64
 }
 
 // runnerStats holds the atomically updated counters behind Stats.
 type runnerStats struct {
-	invocations        atomic.Int64
-	misspecInvocations atomic.Int64
-	squashedIters      atomic.Int64
-	tailIters          atomic.Int64
-	totalIters         atomic.Int64
-	recoveries         atomic.Int64
-	recoveryChunks     atomic.Int64
+	invocations         atomic.Int64
+	misspecInvocations  atomic.Int64
+	squashedIters       atomic.Int64
+	tailIters           atomic.Int64
+	totalIters          atomic.Int64
+	recoveries          atomic.Int64
+	recoveryChunks      atomic.Int64
+	hits                atomic.Int64
+	misses              atomic.Int64
+	sequentialFallbacks atomic.Int64
+	effectiveThreads    atomic.Int64 // gauge: width of the latest invocation
 
 	mu        sync.Mutex
 	lastWorks []int64
@@ -49,7 +75,9 @@ func (st *runnerStats) setLastWorks(w []int64) {
 	st.mu.Unlock()
 }
 
-// addInto accumulates the counters into a Stats value.
+// addInto accumulates the counters into a Stats value. The
+// EffectiveThreads gauge is not summed — snapshot and Pool.Stats set it
+// from the relevant runner.
 func (st *runnerStats) addInto(s *Stats) {
 	s.Invocations += st.invocations.Load()
 	s.MisspecInvocations += st.misspecInvocations.Load()
@@ -58,12 +86,16 @@ func (st *runnerStats) addInto(s *Stats) {
 	s.TotalIters += st.totalIters.Load()
 	s.Recoveries += st.recoveries.Load()
 	s.RecoveryChunks += st.recoveryChunks.Load()
+	s.Hits += st.hits.Load()
+	s.Misses += st.misses.Load()
+	s.SequentialFallbacks += st.sequentialFallbacks.Load()
 }
 
 // snapshot returns a consistent copy of the counters.
 func (st *runnerStats) snapshot() Stats {
 	var s Stats
 	st.addInto(&s)
+	s.EffectiveThreads = st.effectiveThreads.Load()
 	st.mu.Lock()
 	s.LastWorks = append([]int64(nil), st.lastWorks...)
 	st.mu.Unlock()
@@ -99,10 +131,119 @@ func (r *Runner[S, A]) Run(ctx context.Context, start S) (A, error) {
 		return zero, err
 	}
 	r.stats.invocations.Add(1)
-	if r.cfg.Threads == 1 || !r.pred.havePredictions() {
+	if r.cfg.Threads == 1 {
 		return r.runSequential(ctx, start)
 	}
-	return r.sched.run(r, ctx, start, r.pred.snapshot())
+
+	// Adaptive throttle: the controller picks this invocation's width
+	// (and whether it is an upward probe); the dispatch plan below then
+	// drops low-confidence rows. Either can collapse the invocation to
+	// sequential execution — which still memoizes bootstrap candidates,
+	// so later probes have fresh predictions to test.
+	eff, probe := r.cfg.Threads, false
+	if r.ctrl != nil {
+		eff, probe = r.ctrl.Begin()
+		// While the invocation runs the gauge shows its dispatch width
+		// (including a probe's temporary widening); the deferred store
+		// settles it on the controller's chosen width on every exit
+		// path — error returns included, where Observe is skipped.
+		defer func() {
+			r.stats.effectiveThreads.Store(int64(r.ctrl.Effective()))
+		}()
+	}
+	r.stats.effectiveThreads.Store(int64(eff))
+	if !r.pred.havePredictions() {
+		acc, err := r.runSequential(ctx, start)
+		if err == nil {
+			r.observe(rt.SpecSkipped)
+		}
+		return acc, err
+	}
+	rows := r.pred.snapshot()
+	n := 1
+	if eff > 1 {
+		n = r.sched.planDispatch(r, rows, eff, probe)
+	}
+	if n == 1 {
+		if r.ctrl != nil {
+			r.stats.sequentialFallbacks.Add(1)
+		}
+		acc, err := r.runSequential(ctx, start)
+		if err == nil {
+			if eff > 1 {
+				// The confidence gate dropped every row: an immediate
+				// demotion to sequential width, which also starts the
+				// probe clock.
+				r.observe(rt.SpecGated)
+			} else {
+				r.observe(rt.SpecClean)
+			}
+		}
+		return acc, err
+	}
+	acc, misspec, err := r.sched.run(r, ctx, start, rows, n, probe)
+	if err == nil {
+		if misspec {
+			r.observe(rt.SpecMisspec)
+		} else {
+			r.observe(rt.SpecClean)
+		}
+	}
+	return acc, err
+}
+
+// observe feeds one invocation outcome to the controller (the deferred
+// store in Run settles the EffectiveThreads gauge afterwards).
+func (r *Runner[S, A]) observe(outcome rt.SpecOutcome) {
+	if r.ctrl != nil {
+		r.ctrl.Observe(outcome)
+	}
+}
+
+// admitRow reports whether SVA row k may be speculated on this
+// invocation: always outside adaptive mode; inside it, when the row
+// clears the confidence floor or the invocation is a probe (probes
+// bypass the gate so gated rows can earn their confidence back).
+func (r *Runner[S, A]) admitRow(k int, probe bool) bool {
+	if r.ctrl == nil || probe {
+		return true
+	}
+	return r.pred.conf.Admit(k, r.minConf)
+}
+
+// noteHit records a committed speculative chunk for row k.
+func (r *Runner[S, A]) noteHit(k int) {
+	r.stats.hits.Add(1)
+	r.pred.conf.Hit(k)
+}
+
+// noteMiss records a squashed speculative chunk for row k.
+func (r *Runner[S, A]) noteMiss(k int) {
+	r.stats.misses.Add(1)
+	r.pred.conf.Miss(k)
+}
+
+// reset clears all cross-invocation adaptation: memoized predictions,
+// row confidence, and the controller's throttle state. A Pool resets a
+// runner on session boundaries so nothing learned on one caller's
+// structure leaks into another's.
+func (r *Runner[S, A]) reset() {
+	r.pred.reset()
+	if r.ctrl != nil {
+		r.ctrl.Reset()
+	}
+	// Zero the sequential-path sample buffer too: a parked runner must
+	// not pin the closed session's data structure through sampled
+	// states (the sequential counterpart of scheduler.releaseCtx).
+	// Through the full capacity: entries beyond len survive shrinking
+	// runs, and a cancelled runSequential leaves samples in the backing
+	// array without ever storing the slice back.
+	cands := r.seqCands[:cap(r.seqCands)]
+	for i := range cands {
+		cands[i] = seqCand[S]{}
+	}
+	r.seqCands = cands[:0]
+	r.stats.effectiveThreads.Store(int64(r.cfg.Threads))
 }
 
 // MustRun is the v1 infallible signature: Run with a background context,
@@ -157,11 +298,11 @@ func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err e
 		}
 	}()
 	acc := r.loop.Init()
-	type cand struct {
-		state S
-		pos   int64
-	}
-	var cands []cand
+	cands := r.seqCands[:0]
+	// Store the buffer back on every exit path: an error return must
+	// neither strand sampled states beyond len (reset clears only up to
+	// cap of what it can see) nor drop a grown backing array.
+	defer func() { r.seqCands = cands }()
 	sample := r.cfg.Threads > 1
 	next := int64(1)
 	bodyErr := r.loop.BodyErr // hoisted, as in chunkJob.run
@@ -174,7 +315,7 @@ func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err e
 			}
 		}
 		if sample && work == next {
-			cands = append(cands, cand{s, work})
+			cands = append(cands, seqCand[S]{s, work})
 			next *= 2
 		}
 		if bodyErr != nil {

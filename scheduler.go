@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"spice/internal/rt"
 )
 
 // This file is the scheduler layer: chunk planning, the validation
@@ -179,6 +181,8 @@ type scheduler[S comparable, A any] struct {
 	memos    []memo[S]
 	candBuf  []int         // recovery candidate row indices
 	recPlans [][]planEntry // recovery per-chunk plan buffers
+	dispRows []int         // dispatch chain: SVA row behind each speculative slot
+	admitBuf []int         // valid+admitted rows scratch for planDispatch
 	wg       sync.WaitGroup
 	// abort is the failure barrier of one dispatch round: the lowest
 	// chain index that has failed so far (MaxInt64 when none). Chunks
@@ -192,10 +196,12 @@ type scheduler[S comparable, A any] struct {
 
 func newScheduler[S comparable, A any](threads int) *scheduler[S, A] {
 	s := &scheduler[S, A]{
-		threads: threads,
-		results: make([]chunkResult[S, A], threads),
-		jobs:    make([]chunkJob[S, A], threads),
-		works:   make([]int64, threads),
+		threads:  threads,
+		results:  make([]chunkResult[S, A], threads),
+		jobs:     make([]chunkJob[S, A], threads),
+		works:    make([]int64, threads),
+		dispRows: make([]int, 0, threads),
+		admitBuf: make([]int, 0, threads),
 	}
 	for j := range s.jobs {
 		s.jobs[j].res = &s.results[j]
@@ -229,26 +235,69 @@ func (s *scheduler[S, A]) releaseCtx() {
 	}
 }
 
-// run executes one parallel invocation: dispatch one chunk per predicted
-// start onto the executor, resolve the validation chain, commit the
-// valid prefix, squash the rest, and recover any capped remainder in
-// parallel. A failed invocation (body error, contained panic, or ctx
-// cancellation) returns the zero accumulator and the failure of the
-// earliest chunk in iteration order; the predictor keeps its previous
-// memoizations so the next invocation still speculates.
-func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, rows []row[S]) (A, error) {
-	t := s.threads
+// planDispatch selects the invocation's speculative dispatch chain:
+// the SVA rows that are valid, clear the adaptive confidence gate (all
+// valid rows when the gate is off or the invocation is a probe), and
+// fit the effective width. When more rows qualify than eff-1 slots, the
+// picks are spread evenly across the qualifying rows so the chunks stay
+// roughly balanced at reduced width. The chain is stored in s.dispRows
+// (slot i>0 starts from rows[s.dispRows[i-1]] and hunts
+// rows[s.dispRows[i]]); the returned chunk count is 1+len(s.dispRows).
+// A return of 1 means nothing is worth speculating on — the caller runs
+// sequentially instead of burning workers on doomed chunks.
+func (s *scheduler[S, A]) planDispatch(r *Runner[S, A], rows []row[S], eff int, probe bool) int {
+	adm := s.admitBuf[:0]
+	for k := range rows {
+		if rows[k].valid && r.admitRow(k, probe) {
+			adm = append(adm, k)
+		}
+	}
+	s.admitBuf = adm
+	keep := s.dispRows[:0]
+	if len(adm) <= eff-1 {
+		keep = append(keep, adm...)
+	} else {
+		prev := -1
+		for i := 0; i < eff-1; i++ {
+			j := (i + 1) * len(adm) / eff
+			if j <= prev {
+				j = prev + 1
+			}
+			keep = append(keep, adm[j])
+			prev = j
+		}
+	}
+	s.dispRows = keep
+	return len(keep) + 1
+}
+
+// run executes one parallel invocation: dispatch one chunk per chained
+// prediction (the dispatch plan built by planDispatch) onto the
+// executor, resolve the validation chain, commit the valid prefix,
+// squash the rest, and recover any capped remainder in parallel. A
+// failed invocation (body error, contained panic, or ctx cancellation)
+// returns the zero accumulator and the failure of the earliest chunk in
+// iteration order; the predictor keeps its previous memoizations so the
+// next invocation still speculates. The middle return is the adaptive
+// controller's feedback signal: whether any squashed chunk was judged a
+// genuine misprediction (cap-artifact squashes are excluded — see the
+// confidence-verdict section).
+func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, rows []row[S], n int, probe bool) (A, bool, error) {
 	cap64 := r.pred.specCap(r.cfg.MaxSpecIters)
+	if probe {
+		cap64 = rt.ProbeSpecCap(cap64, r.pred.prevTotal, n)
+	}
+	disp := s.dispRows
 	var zero A
 
 	// --- Dispatch ----------------------------------------------------
-	for j := 0; j < t; j++ {
+	for j := 0; j < s.threads; j++ {
 		s.works[j] = 0
 		s.results[j].active = false
 	}
 	s.armAbort()
 	var dispatchErr error
-	for j := 0; j < t; j++ {
+	for i := 0; i < n; i++ {
 		// Honor cancellation at dispatch: once ctx is done, no further
 		// chunk starts. Already-running chunks stop at their next poll;
 		// the chain resolution below surfaces the error.
@@ -257,26 +306,28 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 		}
 		startState := start
 		var posBase int64
-		if j > 0 {
-			if !rows[j-1].valid {
-				continue // idle chunk: its region is covered by a predecessor
-			}
-			startState = rows[j-1].start
-			posBase = rows[j-1].pos
+		planIdx := 0
+		if i > 0 {
+			k := disp[i-1]
+			startState = rows[k].start
+			posBase = rows[k].pos
+			planIdx = k + 1
 		}
+		ownRow := -1
 		var snap *row[S]
-		if j < t-1 && rows[j].valid {
-			snap = &rows[j]
+		if i < n-1 {
+			ownRow = disp[i]
+			snap = &rows[ownRow]
 		}
-		s.jobs[j].reset(r, ctx, startState, snap, j, j > 0, r.pred.planFor(j), posBase, cap64)
+		s.jobs[i].reset(r, ctx, startState, snap, ownRow, i > 0, r.pred.planFor(planIdx), posBase, cap64)
 		s.wg.Add(1)
-		r.exec.submit(&s.jobs[j])
+		r.exec.submit(&s.jobs[i])
 	}
 	s.wg.Wait()
 	defer s.releaseCtx()
 
 	// --- Validation chain --------------------------------------------
-	// Chunk j+1 is validated by chunk j stopping on a match. The prefix
+	// Chunk i+1 is validated by chunk i stopping on a match. The prefix
 	// up to the first non-matching chunk commits; everything after is
 	// squashed.
 	acc := r.loop.Init()
@@ -286,25 +337,26 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	needRecovery := false
 	var runErr error
 	var tailEnd S
-	for j := 0; j < t; j++ {
-		res := &s.results[j]
+	for i := 0; i < n; i++ {
+		res := &s.results[i]
 		if !res.active {
-			f = j
-			// Undispatched: either its region is covered by a predecessor
-			// (invalid row — the predecessor then ran snap-less and never
-			// matched, so the walk stops before reaching it) or dispatch
-			// was cut short by cancellation after the predecessor matched
-			// into a region that never ran — then the invocation fails.
+			f = i
+			// Undispatched: dispatch was cut short by cancellation after
+			// the predecessor matched into a region that never ran — the
+			// invocation fails with the dispatch-time ctx error. (The
+			// dispatch plan has no gaps, so unlike a cancelled dispatch
+			// an exhausted chain always stops the walk on a non-matching
+			// chunk before reaching an inactive slot.)
 			runErr = dispatchErr
 			break
 		}
 		if res.err != nil {
-			// Chunks 0..j-1 all matched, so chunk j's iterations are
+			// Chunks 0..i-1 all matched, so chunk i's iterations are
 			// exactly the sequential continuation and its failure is the
 			// first in iteration order. (errChunkAborted cannot reach
 			// here: an aborted chunk always sits behind the failed chunk
 			// that lowered the barrier, and the walk stops there first.)
-			f = j
+			f = i
 			runErr = res.err
 			break
 		}
@@ -314,9 +366,9 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			acc = res.acc
 			committed = true
 		}
-		s.works[j] = res.work
-		ncommit = j + 1
-		f = j
+		s.works[i] = res.work
+		ncommit = i + 1
+		f = i
 		if !res.matched {
 			// A capped valid chunk stopped early: its region remains.
 			needRecovery = res.capped
@@ -328,55 +380,91 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	// --- Squash ------------------------------------------------------
 	var squashed int64
 	misspec := false
-	for j := f + 1; j < t; j++ {
-		if s.results[j].active {
-			squashed += s.results[j].work
+	for i := f + 1; i < n; i++ {
+		if s.results[i].active {
+			squashed += s.results[i].work
 			misspec = true
 		}
 	}
 	if runErr != nil {
 		// The invocation failed: the failing chunk's partial work is
 		// discarded with everything after it. Memoizations are not
-		// applied — the predictor keeps its last good rows.
+		// applied — the predictor keeps its last good rows — and no
+		// hit/miss verdicts are recorded: an aborted chunk's squash says
+		// nothing about its prediction.
 		if s.results[f].active {
 			squashed += s.results[f].work
 		}
 		if squashed > 0 {
 			r.stats.squashedIters.Add(squashed)
 		}
-		return zero, runErr
+		return zero, false, runErr
+	}
+
+	// --- Confidence verdicts -----------------------------------------
+	// Committed speculative chunks resolve their row's prediction as a
+	// hit. Squashed chunks are misses only when the chain broke on a
+	// chunk that ran out of traversal — the successor's start genuinely
+	// never appeared. Behind a *capped* chunk the squash is a capacity
+	// artifact (the breaking chunk simply was not allowed to walk far
+	// enough to validate), so those rows' verdicts are deferred to the
+	// recovery rounds, which retry them from an architecturally correct
+	// position. Without this distinction a tight MaxSpecIters would
+	// read as sustained misprediction and demote a perfectly
+	// predictable workload.
+	verdictMiss := false
+	for i := 1; i < n; i++ {
+		if !s.results[i].active {
+			break
+		}
+		if i < ncommit {
+			r.noteHit(disp[i-1])
+		} else if !needRecovery {
+			r.noteMiss(disp[i-1])
+			verdictMiss = true
+		}
 	}
 
 	// --- Commit memoizations (global coordinates) --------------------
 	s.memos = s.memos[:0]
 	var prefix int64
-	for j := 0; j < ncommit; j++ {
-		for _, pr := range s.results[j].props {
+	for i := 0; i < ncommit; i++ {
+		for _, pr := range s.results[i].props {
 			s.memos = append(s.memos, memo[S]{row: pr.row, state: pr.state, pos: prefix + pr.local})
 		}
-		prefix += s.works[j]
+		prefix += s.works[i]
 	}
 	totalWork := prefix
 
 	// --- Parallel squash recovery ------------------------------------
 	if needRecovery {
-		recAcc, recWork, recMisspec, recErr := r.recoverParallel(ctx, tailEnd, totalWork, f, rows)
+		// The broken chunk f was hunting disp[f] (or nothing, when it
+		// was the snap-less last chunk of the chain).
+		brokenRow := len(rows)
+		if f < n-1 {
+			brokenRow = disp[f]
+		}
+		recAcc, recWork, recSquash, recMiss, recErr := r.recoverParallel(ctx, tailEnd, totalWork, brokenRow, rows, probe)
 		if recErr != nil {
 			// Same accounting as a primary-round failure: the primary
 			// round's squashes are real even though the invocation dies.
 			if squashed > 0 {
 				r.stats.squashedIters.Add(squashed)
 			}
-			return zero, recErr
+			return zero, verdictMiss, recErr
 		}
 		acc = r.loop.Merge(acc, recAcc)
 		s.works[f] += recWork
 		totalWork += recWork
-		misspec = misspec || recMisspec
+		misspec = misspec || recSquash
+		verdictMiss = verdictMiss || recMiss
 		r.stats.tailIters.Add(recWork)
 	}
 
 	// --- Bookkeeping -------------------------------------------------
+	// MisspecInvocations keeps its historical any-squash semantics; the
+	// returned flag is the controller's refined signal (verdict-based
+	// misses only).
 	r.stats.totalIters.Add(totalWork)
 	if squashed > 0 {
 		r.stats.squashedIters.Add(squashed)
@@ -386,5 +474,5 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	}
 	r.pred.apply(totalWork, s.memos)
 	r.stats.setLastWorks(s.works)
-	return acc, nil
+	return acc, verdictMiss, nil
 }

@@ -52,6 +52,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"spice/internal/rt"
 )
 
 // Loop describes the traversal to parallelize, generic over the live-in
@@ -136,6 +138,33 @@ func (e *PanicError) Error() string {
 // squashed during chain resolution, so this sentinel never escapes Run.
 var errChunkAborted = errors.New("spice: chunk aborted after an earlier chunk failed")
 
+// Options tunes the adaptive speculation controller (see README
+// "Adaptive speculation"). Spice's speedup collapses when chunk-start
+// predictions keep missing: every mis-speculated chunk is squashed and
+// re-run, so on hostile iteration patterns fixed-width speculation does
+// strictly more work than sequential execution. The controller keeps
+// the runtime profitable there: the predictor scores each SVA row's
+// hit/miss record, the scheduler drops low-confidence rows from the
+// dispatch chain instead of speculating on them, and a rolling
+// mis-speculation rate throttles the effective thread count — degrading
+// smoothly to pure sequential execution when speculation keeps losing,
+// then probing back up once the loop re-stabilizes.
+type Options struct {
+	// Adaptive enables the controller. Off (the default), the runner
+	// speculates at the configured width on every invocation that has
+	// predictions — the paper's behaviour.
+	Adaptive bool
+	// MinConfidence is the per-row confidence floor in [0, 1): rows
+	// scoring below it are not speculated on (outside probes). Zero
+	// selects the default (rt.DefaultMinConfidence, 0.25). Ignored
+	// unless Adaptive is set.
+	MinConfidence float64
+	// ProbeInterval is the number of observed invocations between
+	// upward probes while throttled. Zero selects the default
+	// (rt.DefaultProbeInterval, 8). Ignored unless Adaptive is set.
+	ProbeInterval int
+}
+
 // Config tunes a Runner.
 type Config struct {
 	// Threads is the number of chunks run concurrently (≥ 1).
@@ -159,6 +188,20 @@ type Config struct {
 	// its chunks to; the caller owns its lifecycle. When nil, the runner
 	// starts (and Close releases) a private executor of Threads workers.
 	Executor *Executor
+	// Options tunes the adaptive speculation controller.
+	Options
+}
+
+// validate checks the adaptive options (thread-count validation stays
+// in the constructors, which return the dedicated sentinel for it).
+func (c Config) validate() error {
+	if c.MinConfidence < 0 || c.MinConfidence >= 1 {
+		return fmt.Errorf("%w: MinConfidence %v outside [0, 1)", ErrBadOptions, c.MinConfidence)
+	}
+	if c.ProbeInterval < 0 {
+		return fmt.Errorf("%w: ProbeInterval %d negative", ErrBadOptions, c.ProbeInterval)
+	}
+	return nil
 }
 
 // Stats reports accumulated Runner (or aggregated Pool) behaviour. All
@@ -184,6 +227,24 @@ type Stats struct {
 	Recoveries int64
 	// RecoveryChunks counts chunks committed by recovery rounds.
 	RecoveryChunks int64
+	// Hits counts speculative chunks whose predicted start was
+	// validated and whose work committed.
+	Hits int64
+	// Misses counts speculative chunks that were dispatched and then
+	// squashed (their prediction did not materialize).
+	Misses int64
+	// SequentialFallbacks counts invocations the adaptive controller
+	// forced to pure sequential execution (throttled to one effective
+	// thread, or every predicted row below the confidence floor).
+	SequentialFallbacks int64
+	// EffectiveThreads is the adaptive controller's current effective
+	// width (a gauge, not a counter; equals the configured Threads
+	// when the controller is off). While an invocation runs it shows
+	// the width that invocation was dispatched at — including a
+	// probe's temporary widening — and settles back to the
+	// controller's chosen width when the invocation completes.
+	// Pool.Stats reports the most recently released runner's value.
+	EffectiveThreads int64
 	// LastWorks is the per-chunk committed iteration counts of the most
 	// recent invocation (zero for squashed or idle chunks).
 	LastWorks []int64
@@ -214,6 +275,10 @@ func (s Stats) Imbalance() float64 {
 // ErrNoParallelism is returned by NewRunner for thread counts below 1.
 var ErrNoParallelism = errors.New("spice: Threads must be at least 1")
 
+// ErrBadOptions is returned by NewRunner and NewPool for out-of-range
+// adaptive options. Test with errors.Is.
+var ErrBadOptions = errors.New("spice: invalid Options")
+
 // ErrPoolExecutor is returned by NewPool when the embedded Config names
 // an external executor. Test with errors.Is.
 var ErrPoolExecutor = errors.New("spice: PoolConfig must not set Config.Executor (the pool owns its executor)")
@@ -232,12 +297,23 @@ func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A],
 	if cfg.Threads < 1 {
 		return nil, ErrNoParallelism
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	r := &Runner[S, A]{
 		loop:  loop,
 		cfg:   cfg,
 		pred:  newPredictor[S](cfg.Threads, cfg.Positional, cfg.MemoizeOnce),
 		sched: newScheduler[S, A](cfg.Threads),
 	}
+	if cfg.Adaptive && cfg.Threads > 1 {
+		r.ctrl = rt.NewSpecController(cfg.Threads, int64(cfg.ProbeInterval))
+		r.minConf = cfg.MinConfidence
+		if r.minConf == 0 {
+			r.minConf = rt.DefaultMinConfidence
+		}
+	}
+	r.stats.effectiveThreads.Store(int64(cfg.Threads))
 	if cfg.Threads > 1 {
 		if cfg.Executor != nil {
 			r.exec = cfg.Executor
