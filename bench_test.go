@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -472,6 +473,157 @@ func BenchmarkPoolThroughput(b *testing.B) {
 			b.ReportMetric(float64(p.Runners()), "runners")
 		})
 	}
+}
+
+// BenchmarkBatchThroughput measures the batched/async front door under
+// high submitter concurrency: many *small* invocations — the regime
+// where per-invocation fixed costs (runner acquisition, chunk dispatch,
+// WaitGroup park/unpark) dominate the traversal itself — streamed by
+// max(8, GOMAXPROCS) goroutines over one shared list. mode_run is the
+// naive baseline (one Pool.Run per invocation); mode_batch amortizes
+// acquisition over RunBatch slices and sheds speculation while the
+// executor is saturated; mode_submit pipelines a window of Futures.
+// The acceptance bar (CI compares against BENCH_pool.json) is
+// mode_batch ≥ 1.5x mode_run throughput at 8+ submitters, with
+// mode_run and mode_batch allocation-free per invocation.
+func BenchmarkBatchThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	type nd struct {
+		w    int64
+		next *nd
+	}
+	var head *nd
+	for i := 0; i < 600; i++ {
+		head = &nd{w: rng.Int63n(1 << 20), next: head}
+	}
+	loop := Loop[*nd, int64]{
+		Done:  func(n *nd) bool { return n == nil },
+		Next:  func(n *nd) *nd { return n.next },
+		Body:  func(n *nd, a int64) int64 { return a + n.w },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, c int64) int64 { return a + c },
+	}
+	subs := runtime.GOMAXPROCS(0)
+	if subs < 8 {
+		subs = 8
+	}
+	const batchLen = 64
+	newPool := func(b *testing.B) *Pool[*nd, int64] {
+		p, err := NewPool(loop, PoolConfig{Config: Config{Threads: 4}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm one runner per submitter outside the timer.
+		var warm sync.WaitGroup
+		for g := 0; g < subs; g++ {
+			warm.Add(1)
+			go func() {
+				defer warm.Done()
+				p.MustRun(head)
+				p.MustRun(head)
+			}()
+		}
+		warm.Wait()
+		return p
+	}
+	// split hands submitter g its share of b.N invocations.
+	split := func(n, g int) int {
+		share := n / subs
+		if g < n%subs {
+			share++
+		}
+		return share
+	}
+
+	b.Run("mode_run", func(b *testing.B) {
+		p := newPool(b)
+		defer p.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < subs; g++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if _, err := p.Run(ctx, head); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(split(b.N, g))
+		}
+		wg.Wait()
+	})
+
+	b.Run("mode_batch", func(b *testing.B) {
+		p := newPool(b)
+		defer p.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < subs; g++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				starts := make([]*nd, batchLen)
+				for i := range starts {
+					starts[i] = head
+				}
+				for n > 0 {
+					k := batchLen
+					if n < k {
+						k = n
+					}
+					if _, err := p.RunBatch(ctx, starts[:k]); err != nil {
+						b.Error(err)
+						return
+					}
+					n -= k
+				}
+			}(split(b.N, g))
+		}
+		wg.Wait()
+		b.StopTimer()
+		b.ReportMetric(float64(p.Stats().BatchSheds), "batch_sheds")
+	})
+
+	b.Run("mode_submit", func(b *testing.B) {
+		p := newPool(b)
+		defer p.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < subs; g++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				const window = 4
+				var futs [window]*Future[int64]
+				for i := 0; i < n; i++ {
+					if f := futs[i%window]; f != nil {
+						if _, err := f.Wait(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					futs[i%window] = p.Submit(ctx, head)
+				}
+				for _, f := range futs {
+					if f != nil {
+						if _, err := f.Wait(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			}(split(b.N, g))
+		}
+		wg.Wait()
+	})
 }
 
 // BenchmarkAdaptiveStable is the friendly half of the adaptive

@@ -16,6 +16,14 @@
 //
 // -timeout bounds the whole -pool drive with a context deadline; when it
 // fires, in-flight invocations are cut off and counted.
+//
+// -async switches the -pool drive to the asynchronous front door: each
+// submitter pipelines a window of Pool.Submit futures over one shared
+// list instead of blocking on a Session per invocation, and the report
+// adds the runtime's batch-shed count (async invocations executed
+// sequentially in place because speculation would not have paid):
+//
+//	spicerun -pool -async -concurrent 8 -threads 4 -size 2000 -invocations 400
 package main
 
 import (
@@ -49,11 +57,20 @@ func main() {
 	concurrent := flag.Int("concurrent", 8, "submitter goroutines for -pool")
 	workers := flag.Int("workers", 0, "persistent workers for -pool (0 = default)")
 	timeout := flag.Duration("timeout", 0, "context deadline for the whole -pool drive (0 = none)")
+	async := flag.Bool("async", false, "drive -pool through Pool.Submit futures instead of Sessions")
 	flag.Parse()
 
 	if *pool {
-		runPool(*concurrent, *threads, *workers, *size, *invocations, *timeout)
+		if *async {
+			runAsync(*concurrent, *threads, *workers, *size, *invocations, *timeout)
+		} else {
+			runPool(*concurrent, *threads, *workers, *size, *invocations, *timeout)
+		}
 		return
+	}
+	if *async {
+		fmt.Fprintln(os.Stderr, "spicerun: -async requires -pool")
+		os.Exit(2)
 	}
 
 	b := workloads.ByName(*bench)
@@ -194,5 +211,98 @@ func runPool(concurrent, threads, workers int, size, invocations int64, timeout 
 	if timeout > 0 {
 		fmt.Printf("  deadline:         %v; %d submitters cut off mid-invocation\n",
 			timeout, cutOff.Load())
+	}
+}
+
+// runAsync drives the asynchronous front door: `concurrent` submitters
+// each pipeline a window of Pool.Submit futures over one shared list
+// (no churn: futures from several submitters are in flight at all
+// times, so there is no quiesced window to mutate in). A non-zero
+// timeout cuts in-flight invocations off exactly as in runPool, but
+// observed through resolved futures instead of blocking Run returns.
+func runAsync(concurrent, threads, workers int, size, invocations int64, timeout time.Duration) {
+	const window = 4
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if size <= 0 {
+		size = 100_000
+	}
+	if invocations <= 0 {
+		invocations = 200
+	}
+	p, err := spice.NewPool(poolbench.Loop(), spice.PoolConfig{
+		Config:  spice.Config{Threads: threads},
+		Workers: workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spicerun: %v\n", err)
+		os.Exit(1)
+	}
+	defer p.Close()
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	head, _ := poolbench.BuildList(rng, size)
+	fmt.Printf("native pool (async): %d submitters x %d invocations, %d-element shared list, "+
+		"%d chunks/invocation, %d shared workers, future window %d\n",
+		concurrent, invocations, size, threads, p.Workers(), window)
+
+	var cutOff atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < concurrent; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			futs := make([]*spice.Future[int64], window)
+			settle := func(f *spice.Future[int64]) bool {
+				if f == nil {
+					return true
+				}
+				if _, err := f.Wait(); err != nil {
+					if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+						cutOff.Add(1)
+						return false
+					}
+					fmt.Fprintf(os.Stderr, "spicerun: %v\n", err)
+					return false
+				}
+				return true
+			}
+			for inv := int64(0); inv < invocations; inv++ {
+				if !settle(futs[inv%window]) {
+					return
+				}
+				futs[inv%window] = p.Submit(ctx, head)
+			}
+			for _, f := range futs {
+				if !settle(f) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := p.Stats()
+	total := float64(st.Invocations)
+	fmt.Printf("  wall time:        %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput:       %.0f invocations/s (%.1fM iters/s)\n",
+		total/elapsed.Seconds(), float64(st.TotalIters)/elapsed.Seconds()/1e6)
+	fmt.Printf("  runner states:    %d (high-water concurrent submissions)\n", p.Runners())
+	fmt.Printf("  batch sheds:      %d of %d invocations ran sequentially in place\n",
+		st.BatchSheds, st.Invocations)
+	fmt.Printf("  misspec:          %.1f%% of invocations\n",
+		100*float64(st.MisspecInvocations)/total)
+	if timeout > 0 {
+		fmt.Printf("  deadline:         %v; %d futures cut off\n", timeout, cutOff.Load())
 	}
 }

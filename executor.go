@@ -1,58 +1,147 @@
 package spice
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file is the executor layer: a fixed pool of long-lived worker
-// goroutines fed over a channel. Runners submit chunk jobs here instead
-// of spawning goroutines per invocation; a Pool shares one Executor
-// across every runner it manages, so concurrent invocations multiplex
-// onto the same workers.
+// goroutines. Runners submit chunk jobs here instead of spawning
+// goroutines per invocation; a Pool shares one Executor across every
+// runner it manages, so concurrent invocations multiplex onto the same
+// workers.
+//
+// The executor is *sharded*: every worker owns a bounded run queue, and
+// submitters spread their jobs round-robin across the shards instead of
+// funnelling through one shared channel. Each runner submits through
+// its own striped handle (see submitter), so two concurrent Pool
+// sessions touch disjoint shards in the steady state and never contend
+// on a single lock. Imbalance — a worker stuck behind a long chunk
+// while its queue backs up — is repaired by work stealing: an idle
+// worker scans the other shards in randomized victim order and steals
+// half of the first non-empty victim's queue (steal-half amortizes the
+// steal cost over several tasks, the classic work-stealing tradeoff).
 
 // task is one unit of work. Jobs are preallocated structs (see
-// chunkJob), so submitting them allocates nothing.
+// chunkJob), so submitting them allocates nothing. Tasks must be
+// independent: a task may not block on the completion of another task,
+// so a single worker already guarantees progress.
 type task interface {
 	run()
 }
 
+// shardCap bounds one worker's run queue. A full invocation dispatches
+// at most Threads chunks and blocks on their completion before its next
+// round, so queue depth is driven by the number of concurrent
+// invocations; 64 slots per shard absorbs heavy submitter fan-in while
+// keeping the backlog (and therefore worst-case chunk latency) bounded.
+const shardCap = 64
+
+// shard is one worker's bounded run queue: a mutex-guarded ring plus
+// the owner's parking slot. Submitters push to any shard; the owning
+// worker pops, and idle workers steal. The critical section is a few
+// loads and stores, so even a stolen-from shard is released in tens of
+// nanoseconds.
+type shard struct {
+	mu     sync.Mutex
+	ready  sync.Cond // owner parks here when idle; signaled on push
+	space  sync.Cond // submitters park here when every shard is full
+	buf    [shardCap]task
+	head   int  // index of the oldest task
+	n      int  // occupied slots
+	parked bool // owner is parked (or about to park) on ready
+	// wake records a wakeup granted to a parked owner. The owner waits
+	// on the predicate "wake || own work || closed" rather than on the
+	// bare signal, so a Signal delivered in the window between the
+	// owner registering as parked and actually calling Wait is never
+	// lost.
+	wake bool
+	// waiting counts submitters blocked on space. Tracked so pop/steal
+	// only broadcast when someone is actually parked there (the common
+	// case is nobody).
+	waiting int
+
+	_ [64]byte // pad to a cache line: shards are hammered independently
+}
+
+// push appends under mu. Callers must hold mu and have checked n < cap.
+func (s *shard) push(t task) {
+	s.buf[(s.head+s.n)%shardCap] = t
+	s.n++
+}
+
+// pop removes the oldest task under mu. Callers must hold mu and have
+// checked n > 0. FIFO order keeps chunk jobs of one invocation roughly
+// in dispatch order, which is what the validation chain profits from.
+func (s *shard) pop() task {
+	t := s.buf[s.head]
+	s.buf[s.head] = nil // do not pin finished jobs (and their contexts)
+	s.head = (s.head + 1) % shardCap
+	s.n--
+	return t
+}
+
 // Executor runs submitted tasks on a fixed set of persistent worker
-// goroutines. The zero value is not usable; construct with NewExecutor.
-// Submission and Close may not race: close an Executor only after every
-// runner using it has finished its last Run.
+// goroutines, one bounded run queue per worker. The zero value is not
+// usable; construct with NewExecutor. Submission and Close may not
+// race: close an Executor only after every runner using it has finished
+// its last Run (Pool.Close sequences this, draining async submissions
+// first).
 type Executor struct {
-	tasks   chan task
+	shards  []shard
 	workers int
-	done    sync.WaitGroup
-	once    sync.Once
+	// load gauges queued plus running tasks — incremented at submit,
+	// decremented when a task finishes. The batched front door reads it
+	// to decide whether speculating would add parallelism or only
+	// queueing (see Runner.run's load-aware path).
+	load atomic.Int64
+	// demand gauges in-flight invocations across every runner sharing
+	// this executor (each up to Threads chunks wide). Queue depth alone
+	// under-reports pressure — invocations blocked between dispatch
+	// rounds, or timesliced on few cores, hold no queued task at any
+	// given instant — so the load-aware path also sheds on demand: when
+	// the *other* in-flight invocations already cover every worker,
+	// speculative chunks buy queueing, not parallelism.
+	demand atomic.Int64
+	// idle counts parked workers, so the submit path only pays a wakeup
+	// scan when someone is actually asleep.
+	idle   atomic.Int64
+	cursor atomic.Uint32 // striping cursor for handle-less submits
+	closed atomic.Bool
+	done   sync.WaitGroup
+	once   sync.Once
 }
 
 // NewExecutor starts an executor with the given number of workers
-// (minimum 1). Workers live until Close.
+// (minimum 1), each owning one run-queue shard. Workers live until
+// Close.
 func NewExecutor(workers int) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
 	e := &Executor{
-		tasks:   make(chan task, 2*workers),
+		shards:  make([]shard, workers),
 		workers: workers,
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.ready.L = &sh.mu
+		sh.space.L = &sh.mu
 	}
 	e.done.Add(workers)
 	for i := 0; i < workers; i++ {
-		go func() {
-			defer e.done.Done()
-			for t := range e.tasks {
-				runContained(t)
-			}
-		}()
+		go e.worker(i)
 	}
 	return e
 }
 
 // runContained isolates one task: workers are a shared, process-long
 // resource, so a panic escaping a task must not kill the goroutine (a
-// dead worker would silently shrink the pool and, with a pending
-// WaitGroup, deadlock its invocation). Tasks are expected to contain
-// their own failures (chunkJob.run converts panics to *PanicError); this
-// is the executor layer's backstop for any task that does not.
+// dead worker would silently strand its shard's queue and, with a
+// pending WaitGroup, deadlock its invocation). Tasks are expected to
+// contain their own failures (chunkJob.run converts panics to
+// *PanicError); this is the executor layer's backstop for any task that
+// does not.
 func runContained(t task) {
 	defer func() { _ = recover() }()
 	t.run()
@@ -61,14 +150,290 @@ func runContained(t task) {
 // Workers returns the fixed worker count.
 func (e *Executor) Workers() int { return e.workers }
 
-// submit enqueues a task; it blocks while the queue is full. Tasks never
-// block on other tasks (chunk jobs are independent), so a single worker
-// already guarantees progress.
-func (e *Executor) submit(t task) { e.tasks <- t }
+// saturated reports whether the executor already has at least one task
+// queued or running per worker — the point where dispatching additional
+// speculative chunks buys queueing delay, not parallelism.
+func (e *Executor) saturated() bool { return e.load.Load() >= int64(e.workers) }
 
-// Close stops the workers after the queue drains and waits for them to
-// exit. Close is idempotent; submitting after Close panics.
+// overloaded reports whether a threads-wide invocation dispatched now
+// would find no spare worker capacity: the run queues already hold a
+// task per worker, or the other in-flight invocations alone (the
+// caller's own registration is excluded) span at least one chunk per
+// worker. The latter is the allocation rule of task-level speculative
+// runtimes — grant speculation only the capacity that task-level
+// parallelism leaves idle.
+func (e *Executor) overloaded(threads int) bool {
+	return e.saturated() || (e.demand.Load()-1)*int64(threads) >= int64(e.workers)
+}
+
+// submitter is a runner's striped handle into the sharded executor:
+// each handle starts at its own home shard (assigned round-robin at
+// creation) and advances one shard per submission, so concurrent
+// runners spread their chunk jobs across disjoint shards instead of
+// contending on one lock. A submitter is not safe for concurrent use —
+// exactly the runner's own serialization contract.
+type submitter struct {
+	e    *Executor
+	next uint32
+}
+
+// newSubmitter assigns a fresh handle its home shard.
+func (e *Executor) newSubmitter() submitter {
+	return submitter{e: e, next: e.cursor.Add(1)}
+}
+
+// submit enqueues a task on the handle's next shard; it blocks only
+// while every shard is full. Tasks never block on other tasks (chunk
+// jobs are independent), so a single worker already guarantees
+// progress and the wait is bounded.
+func (s *submitter) submit(t task) {
+	s.e.enqueue(t, s.next)
+	s.next++
+}
+
+// submit is the handle-less form, striping across shards through the
+// executor-wide cursor. Runners use their own submitter; this path
+// serves standalone executor users.
+func (e *Executor) submit(t task) {
+	e.enqueue(t, e.cursor.Add(1))
+}
+
+// enqueue places t on the first non-full shard at or after the hinted
+// one, wrapping around; when every shard is full it parks on the home
+// shard until a worker frees a slot. After placing, it wakes the
+// shard's owner if parked — and otherwise, if any worker at all is
+// idle, wakes one so it can steal (the owner may be stuck behind a
+// long chunk). The wrapping cursor is reduced modulo the shard count
+// while still unsigned, so it stays a valid index even once the
+// cursor's int interpretation would go negative on 32-bit platforms.
+func (e *Executor) enqueue(t task, hintCursor uint32) {
+	if e.closed.Load() {
+		panic("spice: submit on closed Executor")
+	}
+	e.load.Add(1)
+	n := len(e.shards)
+	hint := int(hintCursor % uint32(n))
+	for {
+		for k := 0; k < n; k++ {
+			i := (hint + k) % n
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			if sh.n < shardCap {
+				sh.push(t)
+				parked := sh.parked
+				if parked {
+					sh.wake = true
+				}
+				sh.mu.Unlock()
+				if parked {
+					sh.ready.Signal()
+				} else if e.idle.Load() > 0 {
+					e.wakeIdle(i)
+				}
+				return
+			}
+			sh.mu.Unlock()
+		}
+		// Every shard is full: wait for space on the home shard. pop and
+		// steal broadcast space when they free slots on a shard with
+		// waiters.
+		sh := &e.shards[hint]
+		sh.mu.Lock()
+		if sh.n >= shardCap {
+			sh.waiting++
+			sh.space.Wait()
+			sh.waiting--
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// wakeIdle signals one parked worker other than the owner of shard i
+// (whose wakeup the caller already handled) so it can steal the job
+// just placed. The wake grant is recorded under the target's lock, so
+// a worker between registering as parked and calling Wait still
+// observes it.
+func (e *Executor) wakeIdle(i int) {
+	for k := 1; k < len(e.shards); k++ {
+		sh := &e.shards[(i+k)%len(e.shards)]
+		sh.mu.Lock()
+		parked := sh.parked
+		if parked {
+			sh.wake = true
+		}
+		sh.mu.Unlock()
+		if parked {
+			sh.ready.Signal()
+			return
+		}
+	}
+}
+
+// worker is the run loop of worker i: drain the private stolen batch,
+// then the own shard, then steal, then park. Stolen tasks are kept in a
+// private batch (they were already claimed under the victim's lock;
+// re-publishing them would just invite re-stealing churn) and drained
+// before the next dequeue, so a worker never exits holding work.
+func (e *Executor) worker(i int) {
+	defer e.done.Done()
+	var batch []task // claimed by a steal, not yet run
+	for {
+		var t task
+		if len(batch) > 0 {
+			t = batch[len(batch)-1]
+			batch[len(batch)-1] = nil
+			batch = batch[:len(batch)-1]
+		} else {
+			t = e.dequeue(i, &batch)
+			if t == nil {
+				return // closed and nothing left to run or steal
+			}
+		}
+		runContained(t)
+		e.load.Add(-1)
+	}
+}
+
+// dequeue returns worker i's next task: its own shard's head, else a
+// steal-half from another shard (randomized victim order), else it
+// parks until a submitter signals. A nil return means the executor is
+// closed and neither the own shard nor any victim has work left.
+func (e *Executor) dequeue(i int, batch *[]task) task {
+	own := &e.shards[i]
+	// Cheap per-worker xorshift for victim order; no shared state, no
+	// allocation.
+	rnd := uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for {
+		own.mu.Lock()
+		if own.n > 0 {
+			t := own.pop()
+			waiting := own.waiting > 0
+			own.mu.Unlock()
+			if waiting {
+				own.space.Broadcast()
+			}
+			return t
+		}
+		own.mu.Unlock()
+
+		if t := e.steal(i, &rnd, batch); t != nil {
+			return t
+		}
+
+		// Nothing anywhere: park on the own shard unless the executor is
+		// closed — then remaining work, if any, lives in other workers'
+		// own shards and is drained by their owners.
+		own.mu.Lock()
+		if own.n > 0 {
+			own.mu.Unlock()
+			continue
+		}
+		if e.closed.Load() {
+			own.mu.Unlock()
+			return nil
+		}
+		own.parked = true
+		e.idle.Add(1)
+		own.mu.Unlock()
+
+		// Close the park/enqueue race before sleeping: a task enqueued
+		// onto a busy owner's shard between this worker's failed steal
+		// scan above and the idle registration saw no one to wake (its
+		// submitter read idle == 0). Any such push is strictly ordered
+		// before the registration, so one more steal scan — now visible
+		// as a wake target for everything later — is guaranteed to find
+		// it; everything enqueued after the registration wakes this
+		// worker through its wake grant.
+		if t := e.steal(i, &rnd, batch); t != nil {
+			e.unpark(own)
+			return t
+		}
+
+		own.mu.Lock()
+		for !own.wake && own.n == 0 && !e.closed.Load() {
+			own.ready.Wait()
+		}
+		own.wake = false
+		own.parked = false
+		e.idle.Add(-1)
+		own.mu.Unlock()
+	}
+}
+
+// unpark withdraws a worker's idle registration after it found work on
+// its pre-sleep re-scan, consuming any wake grant handed to it in the
+// meantime (the grantor's task was either this one or is found by the
+// next scan).
+func (e *Executor) unpark(own *shard) {
+	own.mu.Lock()
+	own.wake = false
+	own.parked = false
+	e.idle.Add(-1)
+	own.mu.Unlock()
+}
+
+// steal scans the other shards in randomized victim order and claims
+// half of the first non-empty victim's queue (the oldest half, keeping
+// rough FIFO order). The first claimed task is returned to run
+// immediately; the rest land in the worker's private batch.
+func (e *Executor) steal(i int, rnd *uint64, batch *[]task) task {
+	n := len(e.shards)
+	if n == 1 {
+		return nil
+	}
+	// xorshift64* advance; start at a random victim and walk from there.
+	x := *rnd
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rnd = x
+	start := int(x % uint64(n))
+	for k := 0; k < n; k++ {
+		j := (start + k) % n
+		if j == i {
+			continue
+		}
+		v := &e.shards[j]
+		v.mu.Lock()
+		if v.n == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		take := v.n - v.n/2 // ceil(n/2): steal half, rounding toward the thief
+		var first task
+		for c := 0; c < take; c++ {
+			t := v.pop()
+			if c == 0 {
+				first = t
+			} else {
+				*batch = append(*batch, t)
+			}
+		}
+		waiting := v.waiting > 0
+		v.mu.Unlock()
+		if waiting {
+			v.space.Broadcast()
+		}
+		return first
+	}
+	return nil
+}
+
+// Close stops the workers after every queue drains and waits for them
+// to exit. Workers keep running — including finishing steals in flight
+// — until their own shard is empty and no victim has work; tasks
+// accepted before Close are never lost. Close is idempotent; submitting
+// after Close panics.
 func (e *Executor) Close() {
-	e.once.Do(func() { close(e.tasks) })
+	e.once.Do(func() {
+		e.closed.Store(true)
+		for i := range e.shards {
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			sh.ready.Broadcast()
+			sh.space.Broadcast()
+			sh.mu.Unlock()
+		}
+	})
 	e.done.Wait()
 }

@@ -2,6 +2,7 @@ package spice
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,8 +28,12 @@ type PoolConfig struct {
 }
 
 // Pool executes Spice invocations submitted concurrently by multiple
-// goroutines. Run, Stats, Runners and Workers are safe for concurrent
-// use; Close must only be called once no Run is in flight.
+// goroutines, through three front doors: Run (one blocking
+// invocation), RunBatch (a slice of invocations served by one runner),
+// and Submit (asynchronous, returning a Future). All of them — plus
+// Stats, Runners and Workers — are safe for concurrent use; Close must
+// only be called once no Run or RunBatch is in flight (in-flight
+// Submits are drained by Close itself).
 type Pool[S comparable, A any] struct {
 	loop Loop[S, A]
 	cfg  Config // with Executor set to the pool's executor
@@ -39,6 +44,12 @@ type Pool[S comparable, A any] struct {
 	all    []*Runner[S, A]
 	last   *Runner[S, A] // most recently released runner (for LastWorks)
 	closed atomic.Bool   // atomic so Session.Run checks it without p.mu
+
+	// inflight tracks accepted Submit invocations so Close can drain
+	// them: an async caller holds only a Future, not a join point, so —
+	// unlike Run — Close waits for submissions it already accepted
+	// instead of requiring the caller to sequence.
+	inflight sync.WaitGroup
 }
 
 // NewPool builds a Pool for the loop.
@@ -99,6 +110,136 @@ func (p *Pool[S, A]) Run(ctx context.Context, start S) (A, error) {
 // panics, re-panicked as *PanicError).
 func (p *Pool[S, A]) MustRun(start S) A {
 	return mustRun(p.Run(context.Background(), start))
+}
+
+// RunBatch executes one invocation per start, in order, and returns
+// their accumulators. The whole batch is served by a single runner
+// acquired once — runner acquisition, free-list locking, and warm
+// predictor state are amortized across the batch instead of paid per
+// invocation — and each invocation is shed-aware: when the pool's
+// shared executor is already saturated by other submitters, or the
+// expected traversal is too small to amortize chunk dispatch, the item
+// runs sequentially on the calling goroutine (exact same result, no
+// chunk dispatch; counted in Stats.BatchSheds) instead of paying for
+// speculation that cannot win.
+//
+// Per item, semantics are identical to Run: exactly the sequential
+// result, ctx cancellation honored at chunk polls and recovery rounds,
+// body errors and contained panics surfacing as the first failure in
+// iteration order. On the first failing item, RunBatch stops and
+// returns the results of the completed prefix (len(results) items ran
+// to completion) together with that item's error, wrapped with the item
+// index; errors.Is and errors.As see through the wrapper. A batch on a
+// closed pool returns ErrPoolClosed.
+//
+// All starts must traverse structures that are not mutated while the
+// batch is in flight, exactly as with Run.
+func (p *Pool[S, A]) RunBatch(ctx context.Context, starts []S) ([]A, error) {
+	if len(starts) == 0 {
+		return nil, nil
+	}
+	r, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(r)
+	out := make([]A, 0, len(starts))
+	for i, start := range starts {
+		acc, err := r.run(ctx, start, true)
+		if err != nil {
+			return out, fmt.Errorf("spice: batch item %d: %w", i, err)
+		}
+		out = append(out, acc)
+	}
+	return out, nil
+}
+
+// Future is the handle of one asynchronous Pool invocation submitted
+// with Submit. All methods are safe for concurrent use; Wait and Stats
+// may be called any number of times.
+type Future[A any] struct {
+	done  chan struct{}
+	acc   A
+	err   error
+	stats Stats
+}
+
+// Done returns a channel closed when the invocation has finished, for
+// select-based pipelines.
+func (f *Future[A]) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the invocation finishes and returns its result —
+// exactly the values the equivalent Run call would have returned.
+func (f *Future[A]) Wait() (A, error) {
+	<-f.done
+	return f.acc, f.err
+}
+
+// Stats blocks until the invocation finishes and returns its
+// per-invocation counters: the delta this one invocation contributed
+// (Invocations is 1 on a completed invocation, TotalIters its committed
+// trip count, and so on). LastWorks and EffectiveThreads reflect the
+// serving runner's state right after the invocation.
+func (f *Future[A]) Stats() Stats {
+	<-f.done
+	return f.stats
+}
+
+// resolve completes the future.
+func (f *Future[A]) resolve(acc A, err error, stats Stats) {
+	f.acc, f.err, f.stats = acc, err, stats
+	close(f.done)
+}
+
+// Submit starts one invocation asynchronously and returns immediately
+// with its Future; the caller pipelines further submissions (or other
+// work) while the invocation runs. Execution semantics match RunBatch's
+// per-item contract: exactly the sequential result, ctx cancellation,
+// error and PanicError containment identical to Run, and shed-aware
+// execution when the shared executor is saturated or the traversal too
+// small to amortize chunk dispatch.
+//
+// Submit on a closed pool returns a Future already resolved with
+// ErrPoolClosed. Submissions accepted before Close are drained by it:
+// Close blocks until their Futures resolve, then releases the workers —
+// so Submit, unlike Run, may race with Close safely.
+//
+// Each in-flight submission holds one runner, so a caller that submits
+// faster than the pool completes grows the runner set exactly like
+// concurrent Run callers would; bound the window by waiting on Futures.
+func (p *Pool[S, A]) Submit(ctx context.Context, start S) *Future[A] {
+	f := &Future[A]{done: make(chan struct{})}
+	r, err := p.acquireInflight()
+	if err != nil {
+		var zero A
+		f.resolve(zero, err, Stats{})
+		return f
+	}
+	go func() {
+		defer p.inflight.Done()
+		before := r.stats.snapshot()
+		acc, err := r.run(ctx, start, true)
+		after := r.stats.snapshot()
+		p.release(r)
+		f.resolve(acc, err, statsDelta(after, before))
+	}()
+	return f
+}
+
+// acquireInflight is acquire plus inflight registration, atomic with
+// the closed check so Close's drain cannot miss a just-accepted
+// submission.
+func (p *Pool[S, A]) acquireInflight() (*Runner[S, A], error) {
+	return p.acquireRunner(true)
+}
+
+// statsDelta returns the counters one invocation contributed: after
+// minus before, with the gauge-like fields (LastWorks,
+// EffectiveThreads) taken from after.
+func statsDelta(after, before Stats) Stats {
+	d := after
+	d.subCounters(before)
+	return d
 }
 
 // isClosed reports whether Close has been called. Lock-free: it sits on
@@ -173,10 +314,21 @@ func (s *Session[S, A]) Close() {
 // acquire pops an idle runner or creates one; it returns ErrPoolClosed
 // after Close.
 func (p *Pool[S, A]) acquire() (*Runner[S, A], error) {
+	return p.acquireRunner(false)
+}
+
+// acquireRunner pops an idle runner or creates one; it returns
+// ErrPoolClosed after Close. With registerInflight, the runner is also
+// registered for Close's drain, under the same mutex hold as the
+// closed check — once acquireRunner accepts, Close waits.
+func (p *Pool[S, A]) acquireRunner(registerInflight bool) (*Runner[S, A], error) {
 	p.mu.Lock()
 	if p.closed.Load() {
 		p.mu.Unlock()
 		return nil, ErrPoolClosed
+	}
+	if registerInflight {
+		p.inflight.Add(1)
 	}
 	if n := len(p.idle); n > 0 {
 		r := p.idle[n-1]
@@ -189,6 +341,9 @@ func (p *Pool[S, A]) acquire() (*Runner[S, A], error) {
 	// NewPool.
 	r, err := NewRunner(p.loop, p.cfg)
 	if err != nil {
+		if registerInflight {
+			p.inflight.Done()
+		}
 		panic("spice: " + err.Error())
 	}
 	p.mu.Lock()
@@ -207,7 +362,11 @@ func (p *Pool[S, A]) release(r *Runner[S, A]) {
 
 // Stats aggregates the counters of every runner the pool has created.
 // LastWorks reports the most recently completed invocation's per-chunk
-// works. Safe to call while invocations run.
+// works. Safe to call while invocations run; every invocation is
+// counted atomically (a runner publishes an invocation's counters in
+// one step when it finishes), so a snapshot never shows an invocation's
+// entry without its iterations, however it interleaves with runner
+// release.
 func (p *Pool[S, A]) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -235,9 +394,14 @@ func (p *Pool[S, A]) Runners() int {
 // Workers returns the size of the shared executor.
 func (p *Pool[S, A]) Workers() int { return p.exec.Workers() }
 
-// Close releases the pool's workers. It must not race with Run; it is
+// Close releases the pool's workers. It must not race with Run or
+// RunBatch, but accepted Submit invocations are drained first: Close
+// blocks until their Futures resolve, then stops the workers. Close is
 // idempotent.
 func (p *Pool[S, A]) Close() {
+	p.mu.Lock() // pairs with acquireInflight: no Add can slip past the drain
 	p.closed.Store(true)
+	p.mu.Unlock()
+	p.inflight.Wait()
 	p.exec.Close()
 }

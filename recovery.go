@@ -44,7 +44,7 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 		if cerr := ctx.Err(); cerr != nil {
 			return acc, recWork, misspec, verdictMiss, cerr
 		}
-		r.stats.recoveries.Add(1)
+		r.pend.Recoveries++
 
 		// Remaining predicted starts, in row order, subject to the same
 		// adaptive confidence gate as primary dispatch. The broken row
@@ -94,7 +94,7 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 			}
 			s.jobs[i].reset(r, ctx, st, snap, ownRow, i > 0, s.recPlans[i], posBase, cap64)
 			s.wg.Add(1)
-			r.exec.submit(&s.jobs[i])
+			r.sub.submit(&s.jobs[i])
 		}
 		s.wg.Wait()
 
@@ -123,18 +123,18 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 			}
 			globalPos += res.work
 			recWork += res.work
-			r.stats.recoveryChunks.Add(1)
+			r.pend.RecoveryChunks++
 			broke = i
 			if !res.matched {
 				break
 			}
 		}
 		for i := broke + 1; i < n; i++ {
-			r.stats.squashedIters.Add(s.results[i].work)
+			r.pend.SquashedIters += s.results[i].work
 			misspec = true
 		}
 		if runErr != nil {
-			r.stats.squashedIters.Add(s.results[broke].work)
+			r.pend.SquashedIters += s.results[broke].work
 			return acc, recWork, misspec, verdictMiss, runErr
 		}
 

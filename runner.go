@@ -25,9 +25,19 @@ type Runner[S comparable, A any] struct {
 	pred     *predictor[S]
 	sched    *scheduler[S, A]
 	exec     *Executor
+	sub      submitter // striped handle into the sharded executor
 	ownsExec bool
 	running  atomic.Bool
 	stats    runnerStats
+
+	// pend accumulates the in-flight invocation's counter deltas. All
+	// counter updates happen on the invoking goroutine (the scheduler
+	// resolves chains and recovery rounds there), so pend needs no
+	// synchronization; Run publishes it into stats in one step on every
+	// exit path, making each invocation atomic to snapshot readers (see
+	// runnerStats).
+	pend      Stats
+	pendWorks bool // s.works holds a fresh LastWorks to publish
 
 	// Adaptive speculation controller (nil when Options.Adaptive is
 	// off): shared policy implementation with the simulator balancer
@@ -50,55 +60,55 @@ type seqCand[S comparable] struct {
 	pos   int64
 }
 
-// runnerStats holds the atomically updated counters behind Stats.
+// runnerStats holds the published counters behind Stats. An invocation
+// accumulates its deltas in the runner's pend field (single-goroutine,
+// no synchronization) and publishes them here in one mutex-guarded step
+// when it finishes — so any snapshot, however it interleaves with
+// concurrent invocations or with Pool release, sees every invocation
+// either entirely or not at all. Before this scheme the counters were
+// independent atomics updated piecemeal across an invocation, and a
+// Pool.Stats aggregation racing a release could observe, say, the
+// incremented invocation count without its committed iterations.
 type runnerStats struct {
-	invocations         atomic.Int64
-	misspecInvocations  atomic.Int64
-	squashedIters       atomic.Int64
-	tailIters           atomic.Int64
-	totalIters          atomic.Int64
-	recoveries          atomic.Int64
-	recoveryChunks      atomic.Int64
-	hits                atomic.Int64
-	misses              atomic.Int64
-	sequentialFallbacks atomic.Int64
-	effectiveThreads    atomic.Int64 // gauge: width of the latest invocation
+	mu    sync.Mutex
+	total Stats // LastWorks is a reused buffer, copied out on snapshot
 
-	mu        sync.Mutex
-	lastWorks []int64
+	// effectiveThreads stays a live gauge (not part of the published
+	// batch): while an invocation runs it shows the width the invocation
+	// was dispatched at.
+	effectiveThreads atomic.Int64
 }
 
-// setLastWorks records the most recent invocation's per-chunk works.
-func (st *runnerStats) setLastWorks(w []int64) {
+// publish merges one finished invocation's deltas — and, when
+// worksDirty, its per-chunk works — into the published totals, then
+// clears the delta for the next invocation.
+func (st *runnerStats) publish(d *Stats, works []int64, worksDirty bool) {
 	st.mu.Lock()
-	st.lastWorks = append(st.lastWorks[:0], w...)
+	st.total.addCounters(*d)
+	if worksDirty {
+		st.total.LastWorks = append(st.total.LastWorks[:0], works...)
+	}
 	st.mu.Unlock()
+	*d = Stats{}
 }
 
-// addInto accumulates the counters into a Stats value. The
+// addInto accumulates the published counters into a Stats value. The
 // EffectiveThreads gauge is not summed — snapshot and Pool.Stats set it
 // from the relevant runner.
 func (st *runnerStats) addInto(s *Stats) {
-	s.Invocations += st.invocations.Load()
-	s.MisspecInvocations += st.misspecInvocations.Load()
-	s.SquashedIters += st.squashedIters.Load()
-	s.TailIters += st.tailIters.Load()
-	s.TotalIters += st.totalIters.Load()
-	s.Recoveries += st.recoveries.Load()
-	s.RecoveryChunks += st.recoveryChunks.Load()
-	s.Hits += st.hits.Load()
-	s.Misses += st.misses.Load()
-	s.SequentialFallbacks += st.sequentialFallbacks.Load()
+	st.mu.Lock()
+	s.addCounters(st.total)
+	st.mu.Unlock()
 }
 
-// snapshot returns a consistent copy of the counters.
+// snapshot returns a consistent copy of the published counters.
 func (st *runnerStats) snapshot() Stats {
 	var s Stats
-	st.addInto(&s)
-	s.EffectiveThreads = st.effectiveThreads.Load()
 	st.mu.Lock()
-	s.LastWorks = append([]int64(nil), st.lastWorks...)
+	s = st.total
+	s.LastWorks = append([]int64(nil), st.total.LastWorks...)
 	st.mu.Unlock()
+	s.EffectiveThreads = st.effectiveThreads.Load()
 	return s
 }
 
@@ -119,6 +129,13 @@ func (st *runnerStats) snapshot() Stats {
 // value and the predictor keeps its last good memoizations, so the next
 // Run speculates normally.
 func (r *Runner[S, A]) Run(ctx context.Context, start S) (A, error) {
+	return r.run(ctx, start, false)
+}
+
+// run is Run plus the batched front door's load-aware flag. The
+// invocation's counter deltas (accumulated in r.pend by the scheduler
+// and recovery layers) are published in one step on every exit path.
+func (r *Runner[S, A]) run(ctx context.Context, start S, loadAware bool) (A, error) {
 	if !r.running.CompareAndSwap(false, true) {
 		panic("spice: concurrent Run on a single Runner (wrap the loop in a Pool)")
 	}
@@ -130,8 +147,42 @@ func (r *Runner[S, A]) Run(ctx context.Context, start S) (A, error) {
 		var zero A
 		return zero, err
 	}
-	r.stats.invocations.Add(1)
+	defer func() { r.stats.publish(&r.pend, r.sched.works, r.pendWorks); r.pendWorks = false }()
+	r.pend.Invocations++
 	if r.cfg.Threads == 1 {
+		return r.runSequential(ctx, start)
+	}
+
+	// Every parallel-capable invocation registers its demand on the
+	// shared executor for its whole duration, so the load-aware path
+	// below sees pressure from invocations that are momentarily between
+	// dispatch rounds (or timesliced off-CPU) and not just from queued
+	// tasks.
+	r.exec.demand.Add(1)
+	defer r.exec.demand.Add(-1)
+
+	// Batched/async shed (RunBatch and Submit only): run this invocation
+	// sequentially on the submitting goroutine when speculation cannot
+	// pay for itself —
+	//
+	//   - the shared executor is overloaded: a task already queued or
+	//     running per worker, or enough concurrent invocations in flight
+	//     to cover every worker, so speculative chunks would only queue
+	//     behind other invocations' work; or
+	//   - the expected traversal is too small to amortize chunking: with
+	//     fewer than ctxPollEvery iterations per chunk, dispatch and
+	//     wakeup round-trips rival the chunk's own work, and a batch
+	//     full of such invocations is fastest executed back to back.
+	//
+	// Shedding skips the dispatch/park machinery entirely but still
+	// memoizes bootstrap candidates, so the predictor stays warm for
+	// when load drops or the traversal grows. Checked before the
+	// adaptive controller is consulted, so the shed neither feeds nor
+	// perturbs the throttle. Plain Run never sheds: a lone blocking
+	// caller asked for this invocation to be parallelized.
+	if loadAware && (r.exec.overloaded(r.cfg.Threads) ||
+		r.pred.prevTotal < int64(r.cfg.Threads)*ctxPollEvery) {
+		r.pend.BatchSheds++
 		return r.runSequential(ctx, start)
 	}
 
@@ -166,7 +217,7 @@ func (r *Runner[S, A]) Run(ctx context.Context, start S) (A, error) {
 	}
 	if n == 1 {
 		if r.ctrl != nil {
-			r.stats.sequentialFallbacks.Add(1)
+			r.pend.SequentialFallbacks++
 		}
 		acc, err := r.runSequential(ctx, start)
 		if err == nil {
@@ -213,13 +264,13 @@ func (r *Runner[S, A]) admitRow(k int, probe bool) bool {
 
 // noteHit records a committed speculative chunk for row k.
 func (r *Runner[S, A]) noteHit(k int) {
-	r.stats.hits.Add(1)
+	r.pend.Hits++
 	r.pred.conf.Hit(k)
 }
 
 // noteMiss records a squashed speculative chunk for row k.
 func (r *Runner[S, A]) noteMiss(k int) {
-	r.stats.misses.Add(1)
+	r.pend.Misses++
 	r.pred.conf.Miss(k)
 }
 
@@ -329,13 +380,13 @@ func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err e
 		}
 		work++
 	}
-	r.stats.totalIters.Add(work)
+	r.pend.TotalIters += work
 	works := r.sched.works
 	for i := range works {
 		works[i] = 0
 	}
 	works[0] = work
-	r.stats.setLastWorks(works)
+	r.pendWorks = true
 
 	// Promote the candidates nearest each chunk boundary. Chosen
 	// positions must increase by row: a row behind its predecessor would

@@ -321,7 +321,7 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 		}
 		s.jobs[i].reset(r, ctx, startState, snap, ownRow, i > 0, r.pred.planFor(planIdx), posBase, cap64)
 		s.wg.Add(1)
-		r.exec.submit(&s.jobs[i])
+		r.sub.submit(&s.jobs[i])
 	}
 	s.wg.Wait()
 	defer s.releaseCtx()
@@ -396,7 +396,7 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			squashed += s.results[f].work
 		}
 		if squashed > 0 {
-			r.stats.squashedIters.Add(squashed)
+			r.pend.SquashedIters += squashed
 		}
 		return zero, false, runErr
 	}
@@ -449,7 +449,7 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			// Same accounting as a primary-round failure: the primary
 			// round's squashes are real even though the invocation dies.
 			if squashed > 0 {
-				r.stats.squashedIters.Add(squashed)
+				r.pend.SquashedIters += squashed
 			}
 			return zero, verdictMiss, recErr
 		}
@@ -458,21 +458,21 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 		totalWork += recWork
 		misspec = misspec || recSquash
 		verdictMiss = verdictMiss || recMiss
-		r.stats.tailIters.Add(recWork)
+		r.pend.TailIters += recWork
 	}
 
 	// --- Bookkeeping -------------------------------------------------
 	// MisspecInvocations keeps its historical any-squash semantics; the
 	// returned flag is the controller's refined signal (verdict-based
 	// misses only).
-	r.stats.totalIters.Add(totalWork)
+	r.pend.TotalIters += totalWork
 	if squashed > 0 {
-		r.stats.squashedIters.Add(squashed)
+		r.pend.SquashedIters += squashed
 	}
 	if misspec {
-		r.stats.misspecInvocations.Add(1)
+		r.pend.MisspecInvocations++
 	}
 	r.pred.apply(totalWork, s.memos)
-	r.stats.setLastWorks(s.works)
+	r.pendWorks = true
 	return acc, verdictMiss, nil
 }

@@ -22,8 +22,9 @@
 //     memoizes.
 //   - scheduler: per-invocation chunk dispatch, the validation chain,
 //     commit/squash bookkeeping, and parallel squash recovery.
-//   - executor: a fixed pool of persistent worker goroutines fed over
-//     channels; no goroutine is spawned per invocation.
+//   - executor: a fixed pool of persistent worker goroutines, one
+//     bounded run queue per worker with steal-half work stealing
+//     between them; no goroutine is spawned per invocation.
 //
 // A Runner executes one loop invocation at a time. Each chunk
 // accumulates into a private accumulator; validated accumulators are
@@ -41,7 +42,12 @@
 //
 // A Pool is the concurrent front door: many goroutines submit
 // invocations simultaneously, each served by its own runner state, all
-// sharing one executor's workers.
+// sharing one executor's workers. Beyond blocking Run, a Pool offers
+// RunBatch (a slice of invocations served by one runner acquisition)
+// and Submit (asynchronous, returning a Future); both shed speculation
+// and run in place when the executor is saturated or the traversal too
+// small to amortize chunk dispatch (see README "Batching & async
+// submission").
 //
 // The caller may mutate the traversed data structure freely *between*
 // invocations — that is the scenario Spice is designed for — but not
@@ -237,6 +243,12 @@ type Stats struct {
 	// forced to pure sequential execution (throttled to one effective
 	// thread, or every predicted row below the confidence floor).
 	SequentialFallbacks int64
+	// BatchSheds counts batched/async invocations (Pool.RunBatch,
+	// Pool.Submit) that ran sequentially on the submitting goroutine
+	// because the shared executor was already saturated — dispatching
+	// speculative chunks would have added queueing, not parallelism.
+	// Plain Run never sheds.
+	BatchSheds int64
 	// EffectiveThreads is the adaptive controller's current effective
 	// width (a gauge, not a counter; equals the configured Threads
 	// when the controller is off). While an invocation runs it shows
@@ -248,6 +260,41 @@ type Stats struct {
 	// LastWorks is the per-chunk committed iteration counts of the most
 	// recent invocation (zero for squashed or idle chunks).
 	LastWorks []int64
+}
+
+// addCounters adds d's additive counters into s. The gauge-like fields
+// (EffectiveThreads, LastWorks) are left untouched — callers set them
+// from the relevant runner. This and subCounters are the only places
+// that enumerate the counter fields; every aggregation (runner publish,
+// pool aggregation, future deltas) routes through them.
+func (s *Stats) addCounters(d Stats) {
+	s.Invocations += d.Invocations
+	s.MisspecInvocations += d.MisspecInvocations
+	s.SquashedIters += d.SquashedIters
+	s.TailIters += d.TailIters
+	s.TotalIters += d.TotalIters
+	s.Recoveries += d.Recoveries
+	s.RecoveryChunks += d.RecoveryChunks
+	s.Hits += d.Hits
+	s.Misses += d.Misses
+	s.SequentialFallbacks += d.SequentialFallbacks
+	s.BatchSheds += d.BatchSheds
+}
+
+// subCounters subtracts d's additive counters from s (the inverse of
+// addCounters; gauge-like fields are again untouched).
+func (s *Stats) subCounters(d Stats) {
+	s.Invocations -= d.Invocations
+	s.MisspecInvocations -= d.MisspecInvocations
+	s.SquashedIters -= d.SquashedIters
+	s.TailIters -= d.TailIters
+	s.TotalIters -= d.TotalIters
+	s.Recoveries -= d.Recoveries
+	s.RecoveryChunks -= d.RecoveryChunks
+	s.Hits -= d.Hits
+	s.Misses -= d.Misses
+	s.SequentialFallbacks -= d.SequentialFallbacks
+	s.BatchSheds -= d.BatchSheds
 }
 
 // Imbalance returns max/mean over the last invocation's non-zero chunk
@@ -321,6 +368,10 @@ func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A],
 			r.exec = NewExecutor(cfg.Threads)
 			r.ownsExec = true
 		}
+		// Each runner submits through its own striped handle, so
+		// concurrent runners on one shared executor start from distinct
+		// shards instead of contending on a single queue.
+		r.sub = r.exec.newSubmitter()
 	}
 	return r, nil
 }
