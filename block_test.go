@@ -1,0 +1,334 @@
+package spice
+
+// Tests for the block-structured hot loop and the inline chunk-0 path:
+// panic containment on the invoking goroutine, mid-chunk-0
+// cancellation, state-pinning regression guards for parked runners
+// (weak-pointer probes plus explicit zero checks), and the
+// narrow-width slot-reset leak guard.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"weak"
+)
+
+type bnode struct {
+	idx  int64
+	w    int64
+	next *bnode
+}
+
+func buildBlockList(n int) *bnode {
+	rng := rand.New(rand.NewSource(17))
+	var head *bnode
+	for i := n - 1; i >= 0; i-- {
+		head = &bnode{idx: int64(i), w: rng.Int63n(1 << 20), next: head}
+	}
+	return head
+}
+
+func sumBlockList(head *bnode) int64 {
+	var s int64
+	for n := head; n != nil; n = n.next {
+		s += n.w
+	}
+	return s
+}
+
+func blockListLoop() Loop[*bnode, int64] {
+	return Loop[*bnode, int64]{
+		Done:  func(n *bnode) bool { return n == nil },
+		Next:  func(n *bnode) *bnode { return n.next },
+		Body:  func(n *bnode, a int64) int64 { return a + n.w },
+		Init:  func() int64 { return 0 },
+		Merge: func(a, b int64) int64 { return a + b },
+	}
+}
+
+// TestInlineChunk0PanicRunsOnCaller proves both halves of the inline
+// chunk-0 contract: a panic in chunk 0's region surfaces as a
+// *PanicError (not a process crash), and the captured stack shows the
+// panic was recovered on the invoking goroutine — the test function's
+// own frame is on it, which is impossible for an executor worker.
+func TestInlineChunk0PanicRunsOnCaller(t *testing.T) {
+	head := buildBlockList(20_000)
+	want := sumBlockList(head)
+	var armed atomic.Bool
+	loop := blockListLoop()
+	loop.Body = func(n *bnode, a int64) int64 {
+		if armed.Load() && n.idx == 3 {
+			panic("chunk0 boom")
+		}
+		return a + n.w
+	}
+	r, err := NewRunner(loop, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, err := r.Run(context.Background(), head); err != nil || got != want {
+		t.Fatalf("bootstrap: got %d want %d err %v", got, want, err)
+	}
+
+	armed.Store(true)
+	_, rerr := r.Run(context.Background(), head) // parallel round: node 3 is chunk 0's
+	var pe *PanicError
+	if !errors.As(rerr, &pe) {
+		t.Fatalf("err = %v, want *PanicError", rerr)
+	}
+	if pe.Value != "chunk0 boom" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "TestInlineChunk0PanicRunsOnCaller") {
+		t.Errorf("panic was not recovered on the invoking goroutine; stack:\n%s", pe.Stack)
+	}
+
+	// The runner (and its inline path) stays usable after containment.
+	armed.Store(false)
+	if got, err := r.Run(context.Background(), head); err != nil || got != want {
+		t.Fatalf("after panic: got %d want %d err %v", got, want, err)
+	}
+}
+
+// TestInlineChunk0MidChunkCancel cancels the context from inside chunk
+// 0's region, after the invocation has dispatched: the inline chunk
+// must observe the cancellation at its next amortized poll point and
+// the invocation must fail with the context's error, leaving the
+// runner usable.
+func TestInlineChunk0MidChunkCancel(t *testing.T) {
+	head := buildBlockList(60_000)
+	want := sumBlockList(head)
+	var cancelFn atomic.Value // context.CancelFunc, armed per attempt
+	loop := blockListLoop()
+	loop.Body = func(n *bnode, a int64) int64 {
+		if n.idx == 100 { // deep inside chunk 0's region, far from any predicted start
+			if c, ok := cancelFn.Load().(context.CancelFunc); ok && c != nil {
+				c()
+			}
+		}
+		return a + n.w
+	}
+	r, err := NewRunner(loop, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, err := r.Run(context.Background(), head); err != nil || got != want {
+		t.Fatalf("bootstrap: got %d want %d err %v", got, want, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelFn.Store(cancel)
+	_, rerr := r.Run(ctx, head)
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", rerr)
+	}
+
+	cancelFn.Store(context.CancelFunc(nil))
+	if got, err := r.Run(context.Background(), head); err != nil || got != want {
+		t.Fatalf("after cancel: got %d want %d err %v", got, want, err)
+	}
+}
+
+// TestFallibleBodyPanicContained covers the fallible scan variants'
+// panic recovery: a BodyErr that panics (instead of returning an
+// error) must still surface as *PanicError from both the sequential
+// path (blockScanToEndErr) and a committed speculative chunk
+// (blockScanMatchErr), with exact squash accounting either way.
+func TestFallibleBodyPanicContained(t *testing.T) {
+	head := buildBlockList(40_000)
+	want := sumBlockList(head)
+	var armed atomic.Bool
+	loop := blockListLoop()
+	loop.Body = nil
+	loop.BodyErr = func(n *bnode, a int64) (int64, error) {
+		if armed.Load() && n.idx == 15_000 { // chunk 1's region at 4 threads
+			panic("fallible boom")
+		}
+		return a + n.w, nil
+	}
+
+	// Sequential: the panic unwinds through blockScanToEndErr.
+	seq, err := NewRunner(loop, Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	armed.Store(true)
+	var pe *PanicError
+	if _, rerr := seq.Run(context.Background(), head); !errors.As(rerr, &pe) {
+		t.Fatalf("sequential err = %v, want *PanicError", rerr)
+	}
+
+	// Parallel: the panic lands in a hunting chunk (blockScanMatchErr)
+	// whose predecessors all match, so it is the first failure in
+	// iteration order and must surface.
+	armed.Store(false)
+	par, err := NewRunner(loop, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	if got, rerr := par.Run(context.Background(), head); rerr != nil || got != want {
+		t.Fatalf("bootstrap: got %d want %d err %v", got, want, rerr)
+	}
+	armed.Store(true)
+	pe = nil
+	if _, rerr := par.Run(context.Background(), head); !errors.As(rerr, &pe) {
+		t.Fatalf("parallel err = %v, want *PanicError", rerr)
+	}
+	if pe.Value != "fallible boom" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	armed.Store(false)
+	if got, rerr := par.Run(context.Background(), head); rerr != nil || got != want {
+		t.Fatalf("after panic: got %d want %d err %v", got, want, rerr)
+	}
+}
+
+// TestReleaseZeroesInvocationState is the explicit zero-check half of
+// the pinning regression guard: after a parallel invocation completes,
+// the scheduler's release must have cleared every caller-derived value
+// from the preallocated jobs and results — contexts, start states,
+// successor-row pointers, proposal states, end states, accumulators —
+// and the memo buffer.
+func TestReleaseZeroesInvocationState(t *testing.T) {
+	head := buildBlockList(30_000)
+	r, err := NewRunner(blockListLoop(), Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 4; i++ { // bootstrap + parallel steady state
+		r.MustRun(head)
+	}
+	s := r.sched
+	for j := range s.jobs {
+		job := &s.jobs[j]
+		if job.ctx != nil || job.start != nil || job.snap != nil || job.plan != nil {
+			t.Fatalf("job %d retains invocation state: ctx=%v start=%v snap=%v plan=%v",
+				j, job.ctx, job.start, job.snap, job.plan)
+		}
+		res := job.res
+		if res.endState != nil || res.acc != 0 || res.err != nil {
+			t.Fatalf("result %d retains invocation state: end=%v acc=%d err=%v",
+				j, res.endState, res.acc, res.err)
+		}
+		props := res.props[:cap(res.props)]
+		for i := range props {
+			if props[i].state != nil {
+				t.Fatalf("result %d proposal buffer retains node state at %d", j, i)
+			}
+		}
+	}
+	memos := s.memos[:cap(s.memos)]
+	for i := range memos {
+		if memos[i].state != nil {
+			t.Fatalf("memo buffer retains node state at %d", i)
+		}
+	}
+}
+
+// TestResetRunnerPinsNothing is the weak-pointer half: a runner that
+// traversed a structure, then was reset (the Pool session-boundary
+// path), must not keep a single node of that structure alive — the
+// predictor's row generations (rows, scratch, rowsBuf), the
+// scheduler's job/result/memo buffers, and the sequential sample
+// buffer all hold node states at some point and must all let go.
+func TestResetRunnerPinsNothing(t *testing.T) {
+	r, err := NewRunner(blockListLoop(), Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build, traverse, and probe inside a helper so no test frame keeps
+	// a node reachable after it returns.
+	weaks := func() []weak.Pointer[bnode] {
+		head := buildBlockList(8_192)
+		for i := 0; i < 6; i++ {
+			r.MustRun(head)
+		}
+		var ws []weak.Pointer[bnode]
+		for n := head; n != nil; n = n.next {
+			ws = append(ws, weak.Make(n))
+		}
+		return ws
+	}()
+	r.reset()
+	runtime.GC()
+	runtime.GC()
+	alive := 0
+	for _, w := range weaks {
+		if w.Value() != nil {
+			alive++
+		}
+	}
+	if alive > 0 {
+		t.Fatalf("%d of %d nodes still pinned by a reset runner", alive, len(weaks))
+	}
+	r.Close()
+}
+
+// TestNarrowRoundLeaksNoStaleSlots guards the narrowed slot reset: a
+// wide parallel round followed by narrower rounds (a shrunken dispatch
+// chain, then the sequential path) must not leak the wide round's
+// works into LastWorks or its results into squash accounting.
+func TestNarrowRoundLeaksNoStaleSlots(t *testing.T) {
+	head := buildBlockList(40_000)
+	want := sumBlockList(head)
+	r, err := NewRunner(blockListLoop(), Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.MustRun(head) // bootstrap
+	if got := r.MustRun(head); got != want {
+		t.Fatalf("wide round: got %d want %d", got, want)
+	}
+	wide := r.Stats()
+	nonzero := 0
+	for _, w := range wide.LastWorks {
+		if w > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 4 {
+		t.Fatalf("wide round used %d chunks, want 4 (works %v)", nonzero, wide.LastWorks)
+	}
+
+	// Narrow the dispatch chain to 2 chunks by invalidating two SVA
+	// rows (white-box: the adaptive controller would do the same by
+	// gating them).
+	r.pred.rows[1].valid = false
+	r.pred.rows[2].valid = false
+	if got := r.MustRun(head); got != want {
+		t.Fatalf("narrow round: got %d want %d", got, want)
+	}
+	st := r.Stats()
+	if st.LastWorks[2] != 0 || st.LastWorks[3] != 0 {
+		t.Fatalf("narrow round leaked stale wide-round works: %v", st.LastWorks)
+	}
+	if st.LastWorks[0]+st.LastWorks[1] != int64(40_000) {
+		t.Fatalf("narrow round works %v do not sum to the trip count", st.LastWorks)
+	}
+	if st.SquashedIters != wide.SquashedIters {
+		t.Fatalf("narrow round charged stale slots to squash accounting: %d -> %d",
+			wide.SquashedIters, st.SquashedIters)
+	}
+
+	// Sequential after parallel: only slot 0 populated, the wide
+	// round's other slots fully cleared.
+	r.pred.reset()
+	if got, err := r.Run(context.Background(), head); err != nil || got != want {
+		t.Fatalf("sequential round: got %d want %d err %v", got, want, err)
+	}
+	st = r.Stats()
+	if st.LastWorks[0] != int64(40_000) || st.LastWorks[1] != 0 || st.LastWorks[2] != 0 || st.LastWorks[3] != 0 {
+		t.Fatalf("sequential round leaked stale parallel works: %v", st.LastWorks)
+	}
+}

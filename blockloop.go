@@ -1,0 +1,155 @@
+package spice
+
+// This file is the block-structured iteration hot path shared by every
+// execution mode of the native runtime: parallel chunks (chunkJob.run),
+// the sequential fallback (Runner.runSequential), and parallel squash
+// recovery (which dispatches through chunkJob.run). The drivers cut a
+// traversal into bounded blocks — each block ends at the nearest pending
+// event: the next context-poll point, the next memoization-plan
+// threshold, the speculative iteration cap, or a positional-validation
+// peek — and hand each block to one of the monomorphic scan variants
+// below. Inside a block the per-iteration body is exactly
+// Done/match/Body/Next on register-resident state: no through-pointer
+// stores into the shared result struct, no plan-cursor or cap compares,
+// no poll mask. All slow-path bookkeeping happens between blocks, on
+// amortized boundaries.
+//
+// The variants are monomorphic copies of the same loop, selected once
+// per chunk instead of branching per iteration:
+//
+//   - blockScanMatch:     infallible body, hunting a successor's
+//     predicted start (membership validation — the common case).
+//   - blockScanToEnd:     infallible body, no hunt: the chain's last
+//     chunk, the sequential path, and positional-validation chunks
+//     (whose single membership peek fires on a block boundary instead
+//     of per iteration).
+//   - blockScanMatchErr /
+//     blockScanToEndErr:  the fallible (Loop.BodyErr) counterparts.
+//
+// Panic containment and squash accounting: each variant recovers a
+// panicking callback itself and reports it as a *PanicError return. The
+// iteration counter k is a named result referenced by that recovery
+// defer, so Go keeps it memory-backed and the count of *started*
+// iterations is exact even when Body or Next panics mid-block — squash
+// accounting for panicked chunks loses nothing to the block structure.
+// The store-per-iteration this forces is to the variant's own stack
+// frame (not the shared result struct), which the measured hot loop
+// absorbs in the shadow of the pointer-chase load latency.
+
+// blockStop reports why a scan variant returned.
+type blockStop uint8
+
+const (
+	// blockFilled: the block budget was fully executed; the driver
+	// processes whatever boundary event the budget was cut at.
+	blockFilled blockStop = iota
+	// blockDone: the traversal ended (Done reported true).
+	blockDone
+	// blockMatched: the successor's predicted start appeared. The
+	// returned state is the matching (peeked) state and the returned
+	// count excludes the peek, which did no work.
+	blockMatched
+	// blockFailed: the body returned an error or a callback panicked
+	// (reported as *PanicError); the returned count includes the failed
+	// iteration, which had started.
+	blockFailed
+)
+
+// blockScanMatch executes up to n iterations from s, stopping early when
+// the traversal ends or snapStart appears. The fast path of speculative
+// chunks under membership validation.
+func blockScanMatch[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A) A,
+	s S, acc A, snapStart S, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		if s == snapStart {
+			return s, acc, k, blockMatched, nil
+		}
+		k++ // charge the started iteration before user code can panic
+		acc = body(s, acc)
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}
+
+// blockScanToEnd is blockScanMatch without a hunt: the chain's last
+// chunk, the sequential path, and positional-validation chunks.
+func blockScanToEnd[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A) A,
+	s S, acc A, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		k++
+		acc = body(s, acc)
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}
+
+// blockScanMatchErr is the fallible-body counterpart of blockScanMatch.
+func blockScanMatchErr[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A) (A, error),
+	s S, acc A, snapStart S, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		if s == snapStart {
+			return s, acc, k, blockMatched, nil
+		}
+		k++
+		var e error
+		if acc, e = body(s, acc); e != nil {
+			return s, acc, k, blockFailed, e
+		}
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}
+
+// blockScanToEndErr is the fallible-body counterpart of blockScanToEnd.
+func blockScanToEndErr[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A) (A, error),
+	s S, acc A, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		k++
+		var e error
+		if acc, e = body(s, acc); e != nil {
+			return s, acc, k, blockFailed, e
+		}
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}

@@ -16,11 +16,25 @@
 // BENCH_pool.json against the committed baseline and fail on
 // steady-state regressions.
 //
+// With -faster, benchjson enforces an ordering between two benchmarks
+// of one of its JSON files: `-faster file.json 'A<B'` exits non-zero
+// unless benchmark A's ns/op is strictly below benchmark B's. This is
+// the parallel-beats-sequential gate: the committed baseline must show
+// the speculative hot path ahead of the sequential one. Records carry
+// the GOMAXPROCS value the measurement ran at (the -N suffix of the
+// benchmark line); when the left-hand benchmark was measured at
+// GOMAXPROCS 1 the ordering is physically unreachable — there is no
+// hardware parallelism for speculation to win with — so the gate
+// reports the gap as an advisory instead of failing. Baselines written
+// before the maxprocs field report 0 and are treated the same way.
+//
 // Usage:
 //
 //	go test -run xxx -bench BenchmarkPool -benchmem -benchtime=100x . |
 //	    go run ./cmd/benchjson -gate '^BenchmarkPool' > BENCH_pool.json
 //	go run ./cmd/benchjson -compare old.json new.json -tolerance 5
+//	go run ./cmd/benchjson -faster BENCH_pool.json \
+//	    'BenchmarkNativeRunner/t2<BenchmarkNativeRunner/t1'
 package main
 
 import (
@@ -39,15 +53,22 @@ type record struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MaxProcs is the GOMAXPROCS the measurement ran at (the -N name
+	// suffix); 0 in baselines recorded before the field existed.
+	MaxProcs int `json:"maxprocs,omitempty"`
 }
 
 func main() {
-	// Compare mode is handled before flag.Parse so the documented CLI
-	// shape `-compare old.json new.json -tolerance 5` works (the flag
-	// package would stop parsing at the first positional argument).
+	// Compare and faster modes are handled before flag.Parse so the
+	// documented CLI shapes (`-compare old.json new.json -tolerance 5`,
+	// `-faster file.json 'A<B'`) work (the flag package would stop
+	// parsing at the first positional argument).
 	for i, a := range os.Args[1:] {
-		if a == "-compare" || a == "--compare" {
+		switch a {
+		case "-compare", "--compare":
 			os.Exit(runCompare(os.Args[1+i+1:]))
+		case "-faster", "--faster":
+			os.Exit(runFaster(os.Args[1+i+1:]))
 		}
 	}
 
@@ -194,6 +215,58 @@ func runCompare(args []string) int {
 	return 0
 }
 
+// runFaster implements `-faster file.json 'A<B'`: benchmark A must be
+// strictly faster (lower ns/op) than benchmark B in the file. When A
+// was measured at GOMAXPROCS 1 (or the baseline predates the maxprocs
+// field) the ordering cannot physically hold — speculation has no
+// second core to win with — so the gap is reported as an advisory and
+// the gate passes.
+func runFaster(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -faster needs exactly two arguments: file.json 'A<B'")
+		return 2
+	}
+	file, expr := args[0], args[1]
+	parts := strings.SplitN(expr, "<", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -faster expression %q (want 'A<B')\n", expr)
+		return 2
+	}
+	recs, err := loadRecords(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	byName := make(map[string]record, len(recs))
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	a, okA := byName[parts[0]]
+	b, okB := byName[parts[1]]
+	if !okA || !okB {
+		fmt.Fprintf(os.Stderr, "benchjson: -faster: %s missing %q or %q\n", file, parts[0], parts[1])
+		return 1
+	}
+	delta := 0.0
+	if b.NsPerOp > 0 {
+		delta = (a.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+	}
+	if a.NsPerOp < b.NsPerOp {
+		fmt.Printf("faster: %s %.0f ns/op < %s %.0f ns/op (%+.1f%%)\n",
+			a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta)
+		return 0
+	}
+	if a.MaxProcs <= 1 {
+		fmt.Printf("advisory: %s %.0f ns/op !< %s %.0f ns/op (%+.1f%%), but the "+
+			"measurement ran at GOMAXPROCS %d — no hardware parallelism to win with; gate not enforced\n",
+			a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta, a.MaxProcs)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: ordering violated: %s %.0f ns/op !< %s %.0f ns/op (%+.1f%%) at GOMAXPROCS %d\n",
+		a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta, a.MaxProcs)
+	return 1
+}
+
 // loadRecords reads one benchjson output file.
 func loadRecords(path string) ([]record, error) {
 	data, err := os.ReadFile(path)
@@ -214,20 +287,24 @@ func loadRecords(path string) ([]record, error) {
 //
 //	BenchmarkPoolThroughput/submitters_4-8  100  668626 ns/op  69 B/op  0 allocs/op
 //
-// The trailing -N GOMAXPROCS suffix is stripped from the name; custom
-// ReportMetric columns are ignored.
+// The trailing -N GOMAXPROCS suffix is stripped from the name and
+// recorded as the maxprocs field (the -faster gate reads it to decide
+// whether a parallel-beats-sequential ordering is physically
+// enforceable); custom ReportMetric columns are ignored.
 func parseLine(line string) (record, bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 {
 		return record{}, false
 	}
 	name := f[0]
+	procs := 1 // go test omits the -N suffix entirely at GOMAXPROCS 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			procs = n
 		}
 	}
-	rec := record{Name: name}
+	rec := record{Name: name, MaxProcs: procs}
 	seen := false
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)

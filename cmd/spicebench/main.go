@@ -11,7 +11,16 @@
 //	-pool     native runtime concurrent-throughput table (beyond the paper)
 //	-adaptive native adaptive-speculation controller table (beyond the paper)
 //	-batch    native batched/async submission table (beyond the paper)
+//	-speedup  native per-iteration overhead and tN/t1 speedup table
 //	-all      everything above in paper order
+//
+// Profiling the native hot path:
+//
+//	-cpuprofile FILE  write a CPU profile of the selected runs
+//	-memprofile FILE  write a heap profile at exit
+//
+// e.g. `spicebench -speedup -cpuprofile cpu.out` captures exactly the
+// block-structured iteration loop under load for `go tool pprof`.
 package main
 
 import (
@@ -20,6 +29,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -44,12 +55,39 @@ func main() {
 	pl := flag.Bool("pool", false, "native Pool concurrent throughput")
 	ad := flag.Bool("adaptive", false, "native adaptive speculation controller")
 	bt := flag.Bool("batch", false, "native batched/async submission throughput")
+	sp := flag.Bool("speedup", false, "native per-iteration overhead and tN/t1 speedup")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl || *ad || *bt
+	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl || *ad || *bt || *sp
 	if !any && !*all {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the steady state before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	if *all || *t1 {
 		table1()
@@ -80,6 +118,9 @@ func main() {
 	}
 	if *all || *bt {
 		batchTable()
+	}
+	if *all || *sp {
+		speedupTable()
 	}
 }
 
@@ -446,7 +487,60 @@ func batchTable() {
 	fmt.Println(" or the traversal too small to amortize chunk dispatch)")
 }
 
+// speedupTable measures the native runtime's per-iteration overhead on
+// the paper's friendly scenario (a stable, fully predictable list) and
+// prints the tN/t1 wall-clock ratio — the headline number of the
+// block-structured hot loop. On a multi-core host the parallel rows
+// divide the traversal and the ratio drops below 1.0x; on a single-CPU
+// host the ratio isolates pure bookkeeping overhead (dispatch, the
+// per-iteration successor-detection compare, commit/validation).
+func speedupTable() {
+	header("Native runtime: per-iteration overhead and tN/t1 speedup")
+
+	const listLen, invocations = 100_000, 60
+	rng := rand.New(rand.NewSource(37))
+	head, _ := poolbench.BuildList(rng, listLen)
+
+	measure := func(threads int) (perInv float64, st spice.Stats) {
+		r, err := spice.NewRunner(poolbench.Loop(), spice.Config{Threads: threads})
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		r.MustRun(head) // bootstrap memoization
+		r.MustRun(head) // settle the steady state
+		start := time.Now()
+		for i := 0; i < invocations; i++ {
+			r.MustRun(head)
+		}
+		return time.Since(start).Seconds() / invocations, r.Stats()
+	}
+
+	tbl := &stats.Table{Header: []string{"threads", "ns/op", "ns/iter", "tN/t1", "misspec"}}
+	var base float64
+	for _, threads := range []int{1, 2, 4} {
+		perInv, st := measure(threads)
+		if threads == 1 {
+			base = perInv
+		}
+		tbl.Add(threads,
+			fmt.Sprintf("%.0f", perInv*1e9),
+			fmt.Sprintf("%.2f", perInv*1e9/listLen),
+			fmt.Sprintf("%.2fx", base/perInv),
+			st.MisspecInvocations)
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\n(%d-element stable list, %d timed invocations per row; tN/t1 > 1.0x\n",
+		listLen, invocations)
+	fmt.Printf(" means the parallel hot path beats sequential; GOMAXPROCS %d)\n",
+		runtime.GOMAXPROCS(0))
+}
+
 func fatal(err error) {
+	// os.Exit skips deferred cleanup; flush an in-flight CPU profile so
+	// -cpuprofile output stays parseable even on an error path (a no-op
+	// when profiling is off).
+	pprof.StopCPUProfile()
 	fmt.Fprintf(os.Stderr, "spicebench: %v\n", err)
 	os.Exit(1)
 }

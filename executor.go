@@ -9,7 +9,11 @@ import (
 // goroutines. Runners submit chunk jobs here instead of spawning
 // goroutines per invocation; a Pool shares one Executor across every
 // runner it manages, so concurrent invocations multiplex onto the same
-// workers.
+// workers. Only *speculative* chunks flow through the executor: each
+// invocation's chunk 0 runs inline on the invoking goroutine
+// (scheduler.go), so a runner-private executor is sized Threads-1 and
+// the load/demand gauges below see exactly the work that actually
+// competes for workers.
 //
 // The executor is *sharded*: every worker owns a bounded run queue, and
 // submitters spread their jobs round-robin across the shards instead of
@@ -96,7 +100,8 @@ type Executor struct {
 	// queueing (see Runner.run's load-aware path).
 	load atomic.Int64
 	// demand gauges in-flight invocations across every runner sharing
-	// this executor (each up to Threads chunks wide). Queue depth alone
+	// this executor (each submitting up to Threads-1 speculative
+	// chunks; chunk 0 runs on its own goroutine). Queue depth alone
 	// under-reports pressure — invocations blocked between dispatch
 	// rounds, or timesliced on few cores, hold no queued task at any
 	// given instant — so the load-aware path also sheds on demand: when
@@ -161,9 +166,11 @@ func (e *Executor) saturated() bool { return e.load.Load() >= int64(e.workers) }
 // caller's own registration is excluded) span at least one chunk per
 // worker. The latter is the allocation rule of task-level speculative
 // runtimes — grant speculation only the capacity that task-level
-// parallelism leaves idle.
+// parallelism leaves idle. An invocation submits only its threads-1
+// speculative chunks (chunk 0 runs inline on its own goroutine), so
+// that is the per-invocation demand counted here.
 func (e *Executor) overloaded(threads int) bool {
-	return e.saturated() || (e.demand.Load()-1)*int64(threads) >= int64(e.workers)
+	return e.saturated() || (e.demand.Load()-1)*int64(threads-1) >= int64(e.workers)
 }
 
 // submitter is a runner's striped handle into the sharded executor:

@@ -264,6 +264,14 @@ func seqOracle(l Loop[any, oracleAcc], head any) oracleAcc {
 // kind × mutation pattern × adaptive mode × thread count × seed, a
 // mutation script runs interleaved with invocations, and every
 // invocation's parallel result must equal the sequential oracle.
+//
+// Beyond the accumulator, the suite pins the Stats contract of the
+// block-structured hot loop: committed iterations must conserve
+// exactly (TotalIters equals the oracle's summed trip counts — a
+// block-boundary spill that dropped or double-counted an iteration
+// would break the equality), every invocation is counted, and the
+// hit/hit+miss ledgers stay consistent with the number of invocations
+// that ran.
 func TestDifferentialOracle(t *testing.T) {
 	const invocations = 12
 	for _, kind := range []string{"list", "tree"} {
@@ -292,6 +300,7 @@ func TestDifferentialOracle(t *testing.T) {
 								t.Fatal(err)
 							}
 							var finalGot, finalWant oracleAcc
+							var wantTotal int64
 							for inv := 0; inv < invocations; inv++ {
 								want := seqOracle(w.loop(), w.head())
 								got, rerr := r.Run(context.Background(), w.head())
@@ -303,6 +312,7 @@ func TestDifferentialOracle(t *testing.T) {
 										threads, seed, inv, got, want)
 								}
 								finalGot, finalWant = got, want
+								wantTotal += want.count
 								w.mutate()
 							}
 							if finalGot != finalWant || finalGot.count == 0 {
@@ -311,6 +321,17 @@ func TestDifferentialOracle(t *testing.T) {
 							st := r.Stats()
 							if st.Invocations != invocations {
 								t.Fatalf("invocations = %d", st.Invocations)
+							}
+							if st.TotalIters != wantTotal {
+								t.Fatalf("threads=%d seed=%d: TotalIters = %d, oracle trips sum to %d",
+									threads, seed, st.TotalIters, wantTotal)
+							}
+							if st.Hits+st.Misses > st.Invocations*int64(threads-1)+st.Recoveries*int64(threads-1) {
+								t.Fatalf("verdict ledger overflows dispatch capacity: hits=%d misses=%d inv=%d rec=%d",
+									st.Hits, st.Misses, st.Invocations, st.Recoveries)
+							}
+							if works := st.LastWorks; len(works) != threads {
+								t.Fatalf("LastWorks width = %d, want %d", len(works), threads)
 							}
 							r.Close()
 						}

@@ -102,11 +102,25 @@ func newPredictor[S comparable](threads int, positional, memoizeOnce bool) *pred
 
 // reset drops all memoized state: rows, plans, and the planning total.
 // Pools reset a runner's predictor when it moves between sessions, so
-// predictions never dangle into another session's data structure.
+// predictions never dangle into another session's data structure. The
+// reusable generation buffers are scrubbed too: scratch holds the
+// previous invocation's rows after the apply swap and rowsBuf the last
+// snapshot handed to the scheduler — both retain node states of the
+// finished session and would otherwise pin its structure while the
+// runner sits parked in a Pool free list.
 func (p *predictor[S]) reset() {
 	for i := range p.rows {
 		p.rows[i] = row[S]{}
 	}
+	scratch := p.scratch[:cap(p.scratch)]
+	for i := range scratch {
+		scratch[i] = row[S]{}
+	}
+	rowsBuf := p.rowsBuf[:cap(p.rowsBuf)]
+	for i := range rowsBuf {
+		rowsBuf[i] = row[S]{}
+	}
+	p.rowsBuf = p.rowsBuf[:0]
 	for j := range p.plans {
 		p.plans[j] = p.plans[j][:0]
 	}

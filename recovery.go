@@ -77,7 +77,12 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 
 		// Dispatch: chunk 0 from the live state (no cap — its start is
 		// architecturally correct), chunk i>0 speculatively from
-		// candidate row i-1, each hunting the next candidate.
+		// candidate row i-1, each hunting the next candidate. A recovery
+		// round can fan wider than the primary dispatch did; record the
+		// width so the next round's slot reset covers it.
+		if n > s.used {
+			s.used = n
+		}
 		s.armAbort()
 		for i := 0; i < n; i++ {
 			st := cur
@@ -94,8 +99,14 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 			}
 			s.jobs[i].reset(r, ctx, st, snap, ownRow, i > 0, s.recPlans[i], posBase, cap64)
 			s.wg.Add(1)
-			r.sub.submit(&s.jobs[i])
+			if i > 0 {
+				r.sub.submit(&s.jobs[i])
+			}
 		}
+		// The resume chunk runs inline on the invoking goroutine, like
+		// the primary round's chunk 0 — a round with no speculative
+		// candidates left never touches the executor at all.
+		s.jobs[0].run()
 		s.wg.Wait()
 
 		// Resolve the round's chain: commit the valid prefix at exact

@@ -285,7 +285,7 @@ func (r *Runner[S, A]) reset() {
 	}
 	// Zero the sequential-path sample buffer too: a parked runner must
 	// not pin the closed session's data structure through sampled
-	// states (the sequential counterpart of scheduler.releaseCtx).
+	// states (the sequential counterpart of scheduler.release).
 	// Through the full capacity: entries beyond len survive shrinking
 	// runs, and a cancelled runSequential leaves samples in the backing
 	// array without ever storing the slice back.
@@ -294,6 +294,11 @@ func (r *Runner[S, A]) reset() {
 		cands[i] = seqCand[S]{}
 	}
 	r.seqCands = cands[:0]
+	// And the scheduler's full slot set: the per-invocation release
+	// covers only the last round's width, while a session handoff must
+	// scrub memo buffers and any wider slots a recovery round dirtied
+	// long ago.
+	r.sched.purge()
 	r.stats.effectiveThreads.Store(int64(r.cfg.Threads))
 }
 
@@ -341,6 +346,13 @@ func (r *Runner[S, A]) String() string {
 // ctx at the same amortized poll interval as parallel chunks and
 // contains body panics as *PanicError, so the bootstrap invocation obeys
 // the same contract as the parallel ones.
+//
+// The traversal runs through the same block-structured scan variants as
+// the parallel chunks (blockloop.go): blocks bound at the next poll
+// point or bootstrap-sample index, with the per-iteration body just
+// Done/Body/Next on register-resident state — the sequential fallback
+// (the adaptive controller's steady state on hostile workloads) pays
+// the same near-zero per-iteration overhead as the parallel path.
 func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err error) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -348,44 +360,71 @@ func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err e
 			out, err = zero, newPanicError(v)
 		}
 	}()
+	done, next := r.loop.Done, r.loop.Next
+	body, bodyErr := r.loop.Body, r.loop.BodyErr
 	acc := r.loop.Init()
 	cands := r.seqCands[:0]
 	// Store the buffer back on every exit path: an error return must
 	// neither strand sampled states beyond len (reset clears only up to
 	// cap of what it can see) nor drop a grown backing array.
 	defer func() { r.seqCands = cands }()
-	sample := r.cfg.Threads > 1
-	next := int64(1)
-	bodyErr := r.loop.BodyErr // hoisted, as in chunkJob.run
+	nextSample := int64(1) << 62
+	if r.cfg.Threads > 1 {
+		nextSample = 1
+	}
+	nextPoll := int64(ctxPollEvery - 1)
 	var work int64
-	for s := start; !r.loop.Done(s); s = r.loop.Next(s) {
-		if work&(ctxPollEvery-1) == ctxPollEvery-1 {
+	s := start
+	for {
+		bound := nextPoll
+		if nextSample < bound {
+			bound = nextSample
+		}
+		var k int64
+		var stop blockStop
+		var verr error
+		if bodyErr != nil {
+			s, acc, k, stop, verr = blockScanToEndErr(done, next, bodyErr, s, acc, bound-work)
+		} else {
+			s, acc, k, stop, verr = blockScanToEnd(done, next, body, s, acc, bound-work)
+		}
+		work += k
+		if stop == blockDone {
+			break
+		}
+		if stop == blockFailed {
+			var zero A
+			return zero, verr
+		}
+		// Boundary events, in the per-iteration loop's order: the
+		// event's iteration must start (Done first), then poll, then
+		// sample the live-in state ahead of the body.
+		if done(s) {
+			break
+		}
+		if work == nextPoll {
 			if cerr := ctx.Err(); cerr != nil {
 				var zero A
 				return zero, cerr
 			}
+			nextPoll += ctxPollEvery
 		}
-		if sample && work == next {
+		if work == nextSample {
 			cands = append(cands, seqCand[S]{s, work})
-			next *= 2
+			nextSample *= 2
 		}
-		if bodyErr != nil {
-			acc, err = bodyErr(s, acc)
-			if err != nil {
-				var zero A
-				return zero, err
-			}
-		} else {
-			acc = r.loop.Body(s, acc)
-		}
-		work++
 	}
 	r.pend.TotalIters += work
 	works := r.sched.works
-	for i := range works {
+	clear := r.sched.used
+	if clear < 1 {
+		clear = 1
+	}
+	for i := 0; i < clear; i++ {
 		works[i] = 0
 	}
 	works[0] = work
+	r.sched.used = 1
 	r.pendWorks = true
 
 	// Promote the candidates nearest each chunk boundary. Chosen

@@ -16,6 +16,37 @@ import (
 // invocations, so the steady-state parallel path allocates nothing —
 // including the v2 failure plumbing: ctx polling, the abort barrier and
 // per-chunk error slots all live in preallocated state.
+//
+// Block-structure invariants (chunkJob.run and blockloop.go): a chunk
+// executes in bounded blocks whose length is the distance to the
+// nearest pending event — the next ctx/abort poll point, the next
+// memoization-plan threshold, the speculative iteration cap, or the
+// positional-validation peek. Inside a block the loop touches only
+// register-resident locals; the shared result struct is written
+// exactly once, when the chunk finishes (and, for the iteration count,
+// by the panic-recovery paths). Spills happen at three places only:
+//
+//   - block boundaries: the driver's local `work` counter advances by
+//     the block's returned count and all slow-path bookkeeping (polls,
+//     plan captures, cap, positional peek) runs against it;
+//   - chunk exit: work/acc/matched/capped/endState/err spill to the
+//     result struct in one shot, so concurrent workers never share
+//     result cache lines mid-traversal;
+//   - panic recovery: each scan variant keeps its started-iteration
+//     count in a named result its recovery defer can reach, so a chunk
+//     that panics mid-block still reports an exact count and squash
+//     accounting stays exact (the outer driver defer then spills that
+//     count, making panicked-chunk SquashedIters identical to the
+//     pre-block path).
+//
+// Chunk 0 — the non-speculative chunk whose start is architecturally
+// correct — runs inline on the invoking goroutine instead of round-
+// tripping through the executor: the speculative chunks are submitted
+// first, then the caller executes chunk 0 itself and parks on the
+// round's WaitGroup. This removes a submit/park/wake handoff per
+// invocation and leaves every executor worker for speculative chunks;
+// abort-barrier, ctx-poll and panic-containment semantics are
+// unchanged because chunk 0 runs the same chunkJob.run.
 
 // chunkResult is one chunk's outcome.
 type chunkResult[S comparable, A any] struct {
@@ -72,102 +103,194 @@ func (j *chunkJob[S, A]) reset(r *Runner[S, A], ctx context.Context, start S, sn
 
 // run executes one chunk: the paper's per-thread loop with work
 // counting, threshold-driven memoization, and mis-speculation detection
-// against the successor's predicted start.
+// against the successor's predicted start — restructured into bounded
+// blocks handed to the monomorphic scan variants of blockloop.go. The
+// variant is selected once per chunk (hunt/no-hunt × fallible), so the
+// per-iteration body carries no mode branches; every ctxPollEvery
+// iterations a block boundary polls the invocation context and the
+// scheduler's abort barrier, keeping slow-path overhead amortized.
 //
 // run is the panic-containment boundary of the executor layer: a body
 // panicking on a worker goroutine (e.g. a corrupted prediction
-// dereferencing freed state) is recovered here and recorded as a
-// *PanicError, so the process survives and the chain resolution decides
-// whether the failure is architectural (surfaces from Run) or
-// speculative (squashed and discarded). Every ctxPollEvery iterations
-// the loop polls the invocation context and the scheduler's abort
-// barrier, keeping the common-path overhead amortized to ~zero.
+// dereferencing freed state) is recovered — inside the scan variants
+// for loop callbacks, by the backstop defer here for Init and boundary
+// Done calls — and recorded as a *PanicError, so the process survives
+// and the chain resolution decides whether the failure is
+// architectural (surfaces from Run) or speculative (squashed).
 func (j *chunkJob[S, A]) run() {
 	defer j.wg.Done()
-	defer func() {
-		if v := recover(); v != nil {
-			res := j.res
-			res.matched = false
-			res.capped = false
-			res.err = newPanicError(v)
-			j.r.sched.abortAfter(j.idx)
-		}
-	}()
 	r := j.r
 	sched := r.sched
 	res := j.res
-	res.acc = r.loop.Init()
+	// work counts completed iterations as of the last block boundary;
+	// the backstop defer below can reach it, and the scan variants keep
+	// their own intra-block count exact (see blockloop.go), so squash
+	// accounting for panicked chunks is exact.
+	var work int64
+	defer func() {
+		if v := recover(); v != nil {
+			res.work = work
+			res.matched = false
+			res.capped = false
+			res.err = newPanicError(v)
+			sched.abortAfter(j.idx)
+		}
+	}()
+	done, next := r.loop.Done, r.loop.Next
+	body, bodyErr := r.loop.Body, r.loop.BodyErr
+	acc := r.loop.Init()
+	s := j.start
+	ctx := j.ctx
 	plan := j.plan
 	cursor := 0
+	minPlanAt := int64(0) // plan entries fire one iteration apart at minimum
 	ownDone := false
-	s := j.start
-	bodyErr := r.loop.BodyErr
 
-	// The work counter lives in the result struct (which already takes
-	// one store per iteration for the accumulator) rather than a local,
-	// so the panic-recovery defer above sees an up-to-date count and
-	// squash accounting stays exact for panicked chunks.
-	work := &res.work
-	for !r.loop.Done(s) {
-		*work++ // started iterations, counted at iteration head
-		if *work&(ctxPollEvery-1) == 0 {
-			if cerr := j.ctx.Err(); cerr != nil {
-				res.err = cerr
+	// Monomorphic selection: membership validation hunts the successor's
+	// start every iteration; positional validation (the ablation) can
+	// only match at one exact position, so its single peek becomes a
+	// block boundary and the inner loop needs no detection at all.
+	var snapStart S
+	hunt := j.snap != nil
+	matchAt := int64(-1) // positional: completed-count of the one peek
+	if hunt {
+		snapStart = j.snap.start
+		if r.cfg.Positional {
+			hunt = false
+			matchAt = j.snap.pos - j.posBase // negative: can never match
+		}
+	}
+	capAt := int64(1) << 62
+	if j.spec {
+		capAt = j.cap
+		if capAt < 1 {
+			capAt = 1 // the pre-block loop always ran one iteration before capping
+		}
+	}
+	nextPoll := int64(ctxPollEvery - 1)
+
+	var matched, capped bool
+	var failErr error
+loop:
+	for {
+		// The cap is processed before a block starts, so a capped chunk
+		// stops without peeking at the next state (old semantics: the cap
+		// fired at iteration end, ahead of the next Done/match check).
+		if work >= capAt {
+			capped = true
+			break
+		}
+		// Block bound: distance to the nearest pending event.
+		bound := capAt
+		if nextPoll < bound {
+			bound = nextPoll
+		}
+		if cursor < len(plan) {
+			at := plan[cursor].local
+			if at < minPlanAt {
+				at = minPlanAt
+			}
+			if at < bound {
+				bound = at
+			}
+		}
+		if matchAt >= work && matchAt < bound {
+			bound = matchAt
+		}
+
+		var k int64
+		var stop blockStop
+		var err error
+		if bodyErr != nil {
+			if hunt {
+				s, acc, k, stop, err = blockScanMatchErr(done, next, bodyErr, s, acc, snapStart, bound-work)
+			} else {
+				s, acc, k, stop, err = blockScanToEndErr(done, next, bodyErr, s, acc, bound-work)
+			}
+		} else {
+			if hunt {
+				s, acc, k, stop, err = blockScanMatch(done, next, body, s, acc, snapStart, bound-work)
+			} else {
+				s, acc, k, stop, err = blockScanToEnd(done, next, body, s, acc, bound-work)
+			}
+		}
+		work += k
+		switch stop {
+		case blockDone:
+			break loop
+		case blockMatched:
+			matched = true
+			break loop
+		case blockFailed:
+			failErr = err
+			sched.abortAfter(j.idx)
+			break loop
+		}
+
+		// --- Boundary events at completed-count work, state s ---------
+		if work >= capAt {
+			continue // processed at the top, ahead of the next peek
+		}
+		if done(s) {
+			break // the event's iteration never starts
+		}
+		if work == nextPoll {
+			if cerr := ctx.Err(); cerr != nil {
+				failErr = cerr
 				break
 			}
 			// An earlier chunk failed: this chunk is certain to be
 			// squashed, so stop burning the worker on it.
 			if sched.abort.Load() < int64(j.idx) {
-				res.err = errChunkAborted
+				failErr = errChunkAborted
 				break
 			}
+			nextPoll += ctxPollEvery
 		}
-		// Memoization (Algorithm 2): capture live-ins when the work
-		// counter passes the head threshold.
-		if cursor < len(plan) && *work > plan[cursor].local {
+		// Memoization (Algorithm 2): capture the live-in state when the
+		// completed count reaches the plan threshold (or the iteration
+		// after the previous capture, whichever is later — duplicate
+		// thresholds fire one iteration apart, as in the per-iteration
+		// loop).
+		if cursor < len(plan) && work >= plan[cursor].local && work >= minPlanAt {
 			res.props = append(res.props, proposal[S]{
-				row: plan[cursor].row, state: s, local: *work - 1,
+				row: plan[cursor].row, state: s, local: work,
 			})
 			if plan[cursor].row == j.ownRow {
 				ownDone = true
 			}
 			cursor++
+			minPlanAt = work + 1
 		}
-		// Detection: stop when the successor's predicted start appears.
-		// Positional validation (the ablation) additionally requires the
-		// match at the exact memoized global index.
-		if j.snap != nil && s == j.snap.start &&
-			(!r.cfg.Positional || j.posBase+*work-1 == j.snap.pos) {
-			res.matched = true
-			// Backstop: persist the validated successor start when this
-			// chunk's own pending entry targets its own row (see the
-			// compiler transformation's spice.backstop).
-			if !ownDone && cursor < len(plan) && plan[cursor].row == j.ownRow {
-				res.props = append(res.props, proposal[S]{row: j.ownRow, state: s, local: *work - 1})
-			}
-			break
-		}
-		if bodyErr != nil {
-			var err error
-			res.acc, err = bodyErr(s, res.acc)
-			if err != nil {
-				res.err = err
-				sched.abortAfter(j.idx)
+		// Positional validation: the one position where the successor's
+		// predicted start may match.
+		if matchAt == work {
+			if s == snapStart {
+				matched = true
 				break
 			}
-		} else {
-			res.acc = r.loop.Body(s, res.acc)
-		}
-		s = r.loop.Next(s)
-		if j.spec && *work >= j.cap {
-			res.capped = true
-			res.endState = s
-			break
+			matchAt = -1
 		}
 	}
-	if res.matched {
-		res.work-- // the matching peek iteration did no work
+
+	// Chunk exit: the only stores into the shared result struct.
+	if matched {
+		// Backstop: persist the validated successor start when this
+		// chunk's own pending entry targets its own row (see the
+		// compiler transformation's spice.backstop). The peek did no
+		// work, so the committed count excludes it.
+		if !ownDone && cursor < len(plan) && plan[cursor].row == j.ownRow {
+			res.props = append(res.props, proposal[S]{row: j.ownRow, state: s, local: work})
+		}
+		res.matched = true
 	}
+	if capped {
+		res.capped = true
+		res.endState = s
+	}
+	res.work = work
+	res.acc = acc
+	res.err = failErr
 }
 
 // scheduler holds one runner's reusable invocation state. It is used by
@@ -183,7 +306,14 @@ type scheduler[S comparable, A any] struct {
 	recPlans [][]planEntry // recovery per-chunk plan buffers
 	dispRows []int         // dispatch chain: SVA row behind each speculative slot
 	admitBuf []int         // valid+admitted rows scratch for planDispatch
-	wg       sync.WaitGroup
+	// used is the number of job/result/works slots the most recent
+	// round dirtied (including recovery rounds, which can fan wider
+	// than the primary dispatch). The next round resets only these
+	// slots plus its own, so a narrow adaptive width does not pay a
+	// full-threads sweep per invocation — and stale slots still cannot
+	// leak into squash accounting or LastWorks.
+	used int
+	wg   sync.WaitGroup
 	// abort is the failure barrier of one dispatch round: the lowest
 	// chain index that has failed so far (MaxInt64 when none). Chunks
 	// with a higher index are certain to be squashed — the validation
@@ -225,14 +355,53 @@ func (s *scheduler[S, A]) abortAfter(idx int) {
 	}
 }
 
-// releaseCtx drops the jobs' context references once a dispatch round
-// has fully completed, so an idle runner (e.g. parked in a Pool free
-// list) does not pin a finished caller's request-scoped context and its
-// value chain until the next invocation.
-func (s *scheduler[S, A]) releaseCtx() {
-	for j := range s.jobs {
-		s.jobs[j].ctx = nil
+// release drops everything the round's jobs and results captured from
+// the caller once the invocation has fully completed: the
+// request-scoped context (and its value chain) plus every node state a
+// finished traversal left behind — job start states, successor-row
+// pointers, result end-states, accumulators, proposal buffers, error
+// values, and the committed memo buffer (the predictor has consumed it
+// by the time release runs). Without this an idle runner parked in a
+// Pool free list pins the finished caller's data structure until the
+// next invocation happens to overwrite the same slots.
+func (s *scheduler[S, A]) release() {
+	var zeroS S
+	var zeroA A
+	for j := 0; j < s.used; j++ {
+		job := &s.jobs[j]
+		job.ctx = nil
+		job.start = zeroS
+		job.snap = nil
+		job.plan = nil
+		res := job.res
+		res.acc = zeroA
+		res.endState = zeroS
+		res.err = nil
+		props := res.props[:cap(res.props)]
+		for i := range props {
+			props[i] = proposal[S]{}
+		}
+		res.props = res.props[:0]
 	}
+	memos := s.memos[:cap(s.memos)]
+	for i := range memos {
+		memos[i] = memo[S]{}
+	}
+	s.memos = s.memos[:0]
+}
+
+// purge is release over every slot regardless of recent round width,
+// plus the works/active buffers, for session boundaries (Runner.reset):
+// a recycled runner must carry nothing from its previous owner.
+func (s *scheduler[S, A]) purge() {
+	s.used = len(s.jobs)
+	s.release()
+	for j := range s.jobs {
+		s.works[j] = 0
+		s.results[j].active = false
+		s.results[j].work = 0
+	}
+	s.used = 0
 }
 
 // planDispatch selects the invocation's speculative dispatch chain:
@@ -291,12 +460,22 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	var zero A
 
 	// --- Dispatch ----------------------------------------------------
-	for j := 0; j < s.threads; j++ {
+	// Reset only the slots this round touches plus whatever the
+	// previous round dirtied (s.used): at narrow adaptive width the
+	// full-threads sweep is skipped, and stale wider-round slots still
+	// cannot leak into squash accounting or LastWorks.
+	clear := n
+	if s.used > clear {
+		clear = s.used
+	}
+	for j := 0; j < clear; j++ {
 		s.works[j] = 0
 		s.results[j].active = false
 	}
+	s.used = n
 	s.armAbort()
 	var dispatchErr error
+	armed := 0
 	for i := 0; i < n; i++ {
 		// Honor cancellation at dispatch: once ctx is done, no further
 		// chunk starts. Already-running chunks stop at their next poll;
@@ -321,10 +500,21 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 		}
 		s.jobs[i].reset(r, ctx, startState, snap, ownRow, i > 0, r.pred.planFor(planIdx), posBase, cap64)
 		s.wg.Add(1)
-		r.sub.submit(&s.jobs[i])
+		if i > 0 {
+			r.sub.submit(&s.jobs[i])
+		}
+		armed = i + 1
+	}
+	// Inline chunk 0: the non-speculative chunk runs on the invoking
+	// goroutine after the speculative chunks are submitted — no
+	// submit/park/wake round-trip, and every executor worker stays
+	// available for speculative chunks. Same chunkJob.run, so ctx
+	// polling, the abort barrier and panic containment are identical.
+	if armed > 0 {
+		s.jobs[0].run()
 	}
 	s.wg.Wait()
-	defer s.releaseCtx()
+	defer s.release()
 
 	// --- Validation chain --------------------------------------------
 	// Chunk i+1 is validated by chunk i stopping on a match. The prefix

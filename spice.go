@@ -192,7 +192,9 @@ type Config struct {
 	MemoizeOnce bool
 	// Executor, when non-nil, is a shared worker pool the runner submits
 	// its chunks to; the caller owns its lifecycle. When nil, the runner
-	// starts (and Close releases) a private executor of Threads workers.
+	// starts (and Close releases) a private executor of Threads-1
+	// workers — chunk 0 of every invocation runs inline on the invoking
+	// goroutine, so only the speculative chunks need workers.
 	Executor *Executor
 	// Options tunes the adaptive speculation controller.
 	Options
@@ -335,8 +337,10 @@ var ErrPoolExecutor = errors.New("spice: PoolConfig must not set Config.Executor
 var ErrPoolClosed = errors.New("spice: pool is closed")
 
 // NewRunner builds a Runner for the loop. Unless cfg.Executor is set,
-// the runner starts a private executor of Threads persistent workers;
-// call Close to release them.
+// the runner starts a private executor of Threads-1 persistent workers
+// (each invocation's chunk 0 runs inline on the invoking goroutine, so
+// only the speculative chunks need workers); call Close to release
+// them.
 func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A], error) {
 	if err := loop.validate(); err != nil {
 		return nil, err
@@ -365,7 +369,11 @@ func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A],
 		if cfg.Executor != nil {
 			r.exec = cfg.Executor
 		} else {
-			r.exec = NewExecutor(cfg.Threads)
+			// Chunk 0 runs inline on the invoking goroutine (see
+			// scheduler.go), so a private executor only ever receives the
+			// Threads-1 speculative chunks — one fewer persistent worker
+			// per runner.
+			r.exec = NewExecutor(cfg.Threads - 1)
 			r.ownsExec = true
 		}
 		// Each runner submits through its own striped handle, so
