@@ -511,7 +511,7 @@ func TestExecutorNoLostOrDuplicatedTasks(t *testing.T) {
 				subs.Add(1)
 				go func(g int) {
 					defer subs.Done()
-					sub := e.newSubmitter()
+					sub := e.newSubmitter(1)
 					for i := 0; i < perSub; i++ {
 						ti := &tasks[g*perSub+i]
 						ti.wg = &wg

@@ -387,8 +387,8 @@ func BenchmarkNativeRunner(b *testing.B) {
 		Init:  func() int64 { return 0 },
 		Merge: func(a, c int64) int64 { return a + c },
 	}
-	for _, threads := range []int{1, 2, 4} {
-		b.Run("t"+string(rune('0'+threads)), func(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
 			r, err := NewRunner(loop, Config{Threads: threads})
 			if err != nil {
 				b.Fatal(err)

@@ -1,7 +1,13 @@
 // Benchjson converts `go test -bench -benchmem` output on stdin into a
-// JSON array of {name, ns_per_op, b_per_op, allocs_per_op} records —
-// the format CI archives as BENCH_pool.json so the perf trajectory of
-// the native runtime accumulates across commits.
+// JSON array of {name, ns_per_op, b_per_op, allocs_per_op, maxprocs,
+// cores} records (internal/benchfmt) — the format CI archives as
+// BENCH_pool.json so the perf trajectory of the native runtime
+// accumulates across commits. Records are normalized on write: a
+// benchmark reporting 0 allocs/op has its B/op forced to 0, since any
+// residue there is go test's integer-averaged warm-up noise, not a
+// steady-state byte cost. The cores field is stamped with
+// runtime.NumCPU() so gates can later tell whether hardware
+// parallelism existed when the measurement was taken.
 //
 // With -gate REGEX, benchjson additionally enforces the steady-state
 // allocation budget: it exits non-zero if any benchmark whose name
@@ -19,14 +25,27 @@
 // With -faster, benchjson enforces an ordering between two benchmarks
 // of one of its JSON files: `-faster file.json 'A<B'` exits non-zero
 // unless benchmark A's ns/op is strictly below benchmark B's. This is
-// the parallel-beats-sequential gate: the committed baseline must show
-// the speculative hot path ahead of the sequential one. Records carry
-// the GOMAXPROCS value the measurement ran at (the -N suffix of the
-// benchmark line); when the left-hand benchmark was measured at
-// GOMAXPROCS 1 the ordering is physically unreachable — there is no
-// hardware parallelism for speculation to win with — so the gate
-// reports the gap as an advisory instead of failing. Baselines written
-// before the maxprocs field report 0 and are treated the same way.
+// the parallel-beats-sequential gate. The ordering is only physically
+// meaningful when the left-hand measurement had real parallelism to
+// win with — GOMAXPROCS at least 2 *and* at least 2 hardware cores
+// (the cores field; GOMAXPROCS can be set above the core count on a
+// one-core container, which changes nothing physically). When either
+// is missing, the gap is reported as an advisory and the gate passes —
+// unless -hard is given, which turns every advisory escape into a
+// failure. CI's multi-core job runs `-faster -hard` on fresh
+// measurements: on that hardware the ordering must hold, and a
+// mis-provisioned single-core runner fails loudly instead of silently
+// skipping the one gate the job exists for.
+//
+// With -merge, benchjson merges several of its JSON files by benchmark
+// name (later files win) and writes the merged set to stdout. CI uses
+// this to fold the scaling-curve records emitted by spicebench
+// -scaling into the refreshed BENCH_pool.json.
+//
+// With -curve, benchjson renders the scaling-curve records of one file
+// (names of the form PREFIX/gP/tT, as written by spicebench -scaling)
+// as a human-readable GOMAXPROCS × threads table, for job logs and the
+// README table.
 //
 // Usage:
 //
@@ -35,31 +54,27 @@
 //	go run ./cmd/benchjson -compare old.json new.json -tolerance 5
 //	go run ./cmd/benchjson -faster BENCH_pool.json \
 //	    'BenchmarkNativeRunner/t2<BenchmarkNativeRunner/t1'
+//	go run ./cmd/benchjson -faster -hard fresh.json 'A<B'
+//	go run ./cmd/benchjson -merge BENCH_pool.json curve.json > merged.json
+//	go run ./cmd/benchjson -curve curve.json ScalingCurve
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+
+	"spice/internal/benchfmt"
 )
 
-type record struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	// MaxProcs is the GOMAXPROCS the measurement ran at (the -N name
-	// suffix); 0 in baselines recorded before the field existed.
-	MaxProcs int `json:"maxprocs,omitempty"`
-}
-
 func main() {
-	// Compare and faster modes are handled before flag.Parse so the
+	// Subcommand-style modes are handled before flag.Parse so the
 	// documented CLI shapes (`-compare old.json new.json -tolerance 5`,
 	// `-faster file.json 'A<B'`) work (the flag package would stop
 	// parsing at the first positional argument).
@@ -69,6 +84,10 @@ func main() {
 			os.Exit(runCompare(os.Args[1+i+1:]))
 		case "-faster", "--faster":
 			os.Exit(runFaster(os.Args[1+i+1:]))
+		case "-merge", "--merge":
+			os.Exit(runMerge(os.Args[1+i+1:]))
+		case "-curve", "--curve":
+			os.Exit(runCurve(os.Args[1+i+1:]))
 		}
 	}
 
@@ -85,7 +104,8 @@ func main() {
 		}
 	}
 
-	recs := []record{} // non-nil: an empty run must emit [], not null
+	cores := runtime.NumCPU()
+	recs := []benchfmt.Record{} // non-nil: an empty run must emit [], not null
 	var violations []string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -94,10 +114,12 @@ func main() {
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
-		rec, ok := parseLine(line)
+		rec, ok := benchfmt.ParseLine(line)
 		if !ok {
 			continue
 		}
+		rec.Cores = cores
+		rec.Normalize()
 		recs = append(recs, rec)
 		if gateRe != nil && gateRe.MatchString(rec.Name) && rec.AllocsPerOp > *maxAllocs {
 			violations = append(violations,
@@ -113,9 +135,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(2)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(recs); err != nil {
+	if err := benchfmt.Write(os.Stdout, recs); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(2)
 	}
@@ -157,17 +177,17 @@ func runCompare(args []string) int {
 		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 		return 2
 	}
-	old, err := loadRecords(files[0])
+	old, err := benchfmt.Load(files[0])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	fresh, err := loadRecords(files[1])
+	fresh, err := benchfmt.Load(files[1])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	newByName := make(map[string]record, len(fresh))
+	newByName := make(map[string]benchfmt.Record, len(fresh))
 	for _, r := range fresh {
 		newByName[r.Name] = r
 	}
@@ -215,29 +235,40 @@ func runCompare(args []string) int {
 	return 0
 }
 
-// runFaster implements `-faster file.json 'A<B'`: benchmark A must be
-// strictly faster (lower ns/op) than benchmark B in the file. When A
-// was measured at GOMAXPROCS 1 (or the baseline predates the maxprocs
-// field) the ordering cannot physically hold — speculation has no
-// second core to win with — so the gap is reported as an advisory and
-// the gate passes.
+// runFaster implements `-faster [-hard] file.json 'A<B'`: benchmark A
+// must be strictly faster (lower ns/op) than benchmark B in the file.
+// The ordering is physically enforceable only when A's measurement had
+// hardware parallelism: GOMAXPROCS ≥ 2 *and* ≥ 2 cores (records
+// predating either field report 0 and are treated as unenforceable).
+// Without -hard, an unenforceable ordering is reported as an advisory
+// and the gate passes; with -hard it fails — the multi-core CI job
+// must never silently skip the one gate it exists to run.
 func runFaster(args []string) int {
-	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "benchjson: -faster needs exactly two arguments: file.json 'A<B'")
+	hard := false
+	var rest []string
+	for _, a := range args {
+		if a == "-hard" || a == "--hard" {
+			hard = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if len(rest) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -faster needs exactly two arguments: [-hard] file.json 'A<B'")
 		return 2
 	}
-	file, expr := args[0], args[1]
+	file, expr := rest[0], rest[1]
 	parts := strings.SplitN(expr, "<", 2)
 	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
 		fmt.Fprintf(os.Stderr, "benchjson: bad -faster expression %q (want 'A<B')\n", expr)
 		return 2
 	}
-	recs, err := loadRecords(file)
+	recs, err := benchfmt.Load(file)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	byName := make(map[string]record, len(recs))
+	byName := make(map[string]benchfmt.Record, len(recs))
 	for _, r := range recs {
 		byName[r.Name] = r
 	}
@@ -256,70 +287,122 @@ func runFaster(args []string) int {
 			a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta)
 		return 0
 	}
-	if a.MaxProcs <= 1 {
-		fmt.Printf("advisory: %s %.0f ns/op !< %s %.0f ns/op (%+.1f%%), but the "+
-			"measurement ran at GOMAXPROCS %d — no hardware parallelism to win with; gate not enforced\n",
-			a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta, a.MaxProcs)
+	if a.MaxProcs <= 1 || a.Cores <= 1 {
+		why := fmt.Sprintf("GOMAXPROCS %d on %d core(s) — no hardware parallelism to win with",
+			a.MaxProcs, a.Cores)
+		if hard {
+			fmt.Fprintf(os.Stderr, "benchjson: -faster -hard: %s %.0f ns/op !< %s %.0f ns/op (%+.1f%%) and "+
+				"the measurement is unenforceable (%s); hard mode does not accept advisories\n",
+				a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta, why)
+			return 1
+		}
+		fmt.Printf("advisory: %s %.0f ns/op !< %s %.0f ns/op (%+.1f%%), but %s; gate not enforced\n",
+			a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta, why)
 		return 0
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: ordering violated: %s %.0f ns/op !< %s %.0f ns/op (%+.1f%%) at GOMAXPROCS %d\n",
-		a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta, a.MaxProcs)
+	fmt.Fprintf(os.Stderr, "benchjson: ordering violated: %s %.0f ns/op !< %s %.0f ns/op (%+.1f%%) at GOMAXPROCS %d on %d cores\n",
+		a.Name, a.NsPerOp, b.Name, b.NsPerOp, delta, a.MaxProcs, a.Cores)
 	return 1
 }
 
-// loadRecords reads one benchjson output file.
-func loadRecords(path string) ([]record, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// runMerge implements `-merge a.json b.json [...]`: the union of the
+// files' records keyed by benchmark name, later files overriding
+// earlier ones, written to stdout in first-seen order (so the
+// committed baseline's ordering is stable under refresh).
+func runMerge(args []string) int {
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -merge needs at least two files")
+		return 2
 	}
-	var recs []record
-	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+	var order []string
+	byName := make(map[string]benchfmt.Record)
+	for _, path := range args {
+		recs, err := benchfmt.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 2
+		}
+		for _, r := range recs {
+			if _, ok := byName[r.Name]; !ok {
+				order = append(order, r.Name)
+			}
+			byName[r.Name] = r
+		}
 	}
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark records", path)
+	merged := make([]benchfmt.Record, 0, len(order))
+	for _, name := range order {
+		merged = append(merged, byName[name])
 	}
-	return recs, nil
+	if err := benchfmt.Write(os.Stdout, merged); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	return 0
 }
 
-// parseLine parses one `go test -bench` result line, e.g.
-//
-//	BenchmarkPoolThroughput/submitters_4-8  100  668626 ns/op  69 B/op  0 allocs/op
-//
-// The trailing -N GOMAXPROCS suffix is stripped from the name and
-// recorded as the maxprocs field (the -faster gate reads it to decide
-// whether a parallel-beats-sequential ordering is physically
-// enforceable); custom ReportMetric columns are ignored.
-func parseLine(line string) (record, bool) {
-	f := strings.Fields(line)
-	if len(f) < 4 {
-		return record{}, false
+// runCurve implements `-curve file.json [PREFIX]`: render the scaling
+// records named PREFIX/gP/tT (default prefix "ScalingCurve", the
+// spicebench -scaling naming) as one ns/op row per GOMAXPROCS value
+// with a column per thread count. Returns 1 if the file has no curve
+// records at all.
+func runCurve(args []string) int {
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -curve needs a file and an optional name prefix")
+		return 2
 	}
-	name := f[0]
-	procs := 1 // go test omits the -N suffix entirely at GOMAXPROCS 1
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if n, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-			procs = n
-		}
+	prefix := "ScalingCurve"
+	if len(args) == 2 {
+		prefix = args[1]
 	}
-	rec := record{Name: name, MaxProcs: procs}
-	seen := false
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return record{}, false
-		}
-		switch f[i+1] {
-		case "ns/op":
-			rec.NsPerOp = v
-			seen = true
-		case "B/op":
-			rec.BPerOp = v
-		case "allocs/op":
-			rec.AllocsPerOp = v
-		}
+	recs, err := benchfmt.Load(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
 	}
-	return rec, seen
+	re := regexp.MustCompile("^" + regexp.QuoteMeta(prefix) + `/g(\d+)/t(\d+)$`)
+	curve := make(map[int]map[int]float64) // gomaxprocs -> threads -> ns/op
+	threadSet := make(map[int]bool)
+	for _, r := range recs {
+		m := re.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		p, _ := strconv.Atoi(m[1])
+		t, _ := strconv.Atoi(m[2])
+		if curve[p] == nil {
+			curve[p] = make(map[int]float64)
+		}
+		curve[p][t] = r.NsPerOp
+		threadSet[t] = true
+	}
+	if len(curve) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -curve: no %s/gP/tT records in %s\n", prefix, args[0])
+		return 1
+	}
+	var procs, threads []int
+	for p := range curve {
+		procs = append(procs, p)
+	}
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(procs)
+	sort.Ints(threads)
+	fmt.Printf("%-14s", "ns/op")
+	for _, t := range threads {
+		fmt.Printf(" %12s", fmt.Sprintf("t%d", t))
+	}
+	fmt.Println()
+	for _, p := range procs {
+		fmt.Printf("%-14s", fmt.Sprintf("GOMAXPROCS=%d", p))
+		for _, t := range threads {
+			if v, ok := curve[p][t]; ok {
+				fmt.Printf(" %12.0f", v)
+			} else {
+				fmt.Printf(" %12s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	return 0
 }

@@ -12,7 +12,13 @@
 //	-adaptive native adaptive-speculation controller table (beyond the paper)
 //	-batch    native batched/async submission table (beyond the paper)
 //	-speedup  native per-iteration overhead and tN/t1 speedup table
+//	-scaling  native t1→t16 scaling curve, one row per GOMAXPROCS setting
 //	-all      everything above in paper order
+//
+// -scaling additionally accepts -out FILE to write the curve as
+// benchjson-compatible JSON records (names ScalingCurve/gP/tT, with
+// maxprocs and cores stamped) for CI artifacts and merging into
+// BENCH_pool.json via `benchjson -merge`.
 //
 // Profiling the native hot path:
 //
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"spice"
+	"spice/internal/benchfmt"
 	"spice/internal/harness"
 	"spice/internal/model"
 	"spice/internal/poolbench"
@@ -56,11 +63,13 @@ func main() {
 	ad := flag.Bool("adaptive", false, "native adaptive speculation controller")
 	bt := flag.Bool("batch", false, "native batched/async submission throughput")
 	sp := flag.Bool("speedup", false, "native per-iteration overhead and tN/t1 speedup")
+	sc := flag.Bool("scaling", false, "native t1→t16 scaling curve per GOMAXPROCS setting")
+	out := flag.String("out", "", "with -scaling: also write the curve as benchjson records to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl || *ad || *bt || *sp
+	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl || *ad || *bt || *sp || *sc
 	if !any && !*all {
 		flag.Usage()
 		os.Exit(2)
@@ -121,6 +130,9 @@ func main() {
 	}
 	if *all || *sp {
 		speedupTable()
+	}
+	if *all || *sc {
+		scalingCurve(*out)
 	}
 }
 
@@ -534,6 +546,98 @@ func speedupTable() {
 		listLen, invocations)
 	fmt.Printf(" means the parallel hot path beats sequential; GOMAXPROCS %d)\n",
 		runtime.GOMAXPROCS(0))
+}
+
+// scalingCurve measures the native runner's wall-clock per invocation
+// across the full (GOMAXPROCS, Threads) grid: GOMAXPROCS walks
+// {1,2,4,8,16} capped at the machine's core count (settings above it
+// add no hardware parallelism, only scheduling pressure, so the curve
+// stays honest about what the host can deliver), and for each setting
+// Threads walks {1,2,4,8,16}. Every runner is constructed *after*
+// GOMAXPROCS is set, so the topology-aware sizing in NewRunner (private
+// executor width, latch and worker spin budgets) sees the setting under
+// test. The t2-vs-t1 comparison at GOMAXPROCS ≥ 2 on ≥ 2 cores is the
+// paper's parallel-beats-sequential claim; CI enforces it via
+// `benchjson -faster -hard`.
+//
+// When outPath is non-empty the curve is also written there as
+// benchjson records named ScalingCurve/gP/tT with maxprocs=P and the
+// host's core count stamped, ready for `benchjson -merge` and -curve.
+func scalingCurve(outPath string) {
+	header("Native runtime: t1→t16 scaling curve per GOMAXPROCS")
+
+	const listLen, invocations = 100_000, 40
+	rng := rand.New(rand.NewSource(43))
+	head, _ := poolbench.BuildList(rng, listLen)
+	cores := runtime.NumCPU()
+
+	grid := []int{1, 2, 4, 8, 16}
+	var procsList []int
+	for _, p := range grid {
+		if p <= cores {
+			procsList = append(procsList, p)
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var recs []benchfmt.Record
+	tbl := &stats.Table{Header: []string{"gomaxprocs", "t1", "t2", "t4", "t8", "t16", "best tN/t1"}}
+	for _, procs := range procsList {
+		runtime.GOMAXPROCS(procs)
+		row := []any{procs}
+		var base, best float64
+		for _, threads := range grid {
+			r, err := spice.NewRunner(poolbench.Loop(), spice.Config{Threads: threads})
+			if err != nil {
+				fatal(err)
+			}
+			r.MustRun(head) // bootstrap memoization
+			r.MustRun(head) // settle the steady state
+			start := time.Now()
+			for i := 0; i < invocations; i++ {
+				r.MustRun(head)
+			}
+			perInv := time.Since(start).Seconds() / invocations
+			r.Close()
+			ns := perInv * 1e9
+			if threads == 1 {
+				base = ns
+			}
+			if sp := base / ns; sp > best {
+				best = sp
+			}
+			row = append(row, fmt.Sprintf("%.0f", ns))
+			recs = append(recs, benchfmt.Record{
+				Name:     fmt.Sprintf("ScalingCurve/g%d/t%d", procs, threads),
+				NsPerOp:  ns,
+				MaxProcs: procs,
+				Cores:    cores,
+			})
+		}
+		row = append(row, fmt.Sprintf("%.2fx", best))
+		tbl.Add(row...)
+	}
+	runtime.GOMAXPROCS(prev)
+	fmt.Print(tbl.String())
+	fmt.Printf("\n(%d-element stable list, %d timed invocations per cell, ns/op; each\n",
+		listLen, invocations)
+	fmt.Printf(" runner is constructed under its row's GOMAXPROCS so topology-aware\n")
+	fmt.Printf(" sizing is in effect; host has %d core(s) — GOMAXPROCS settings above\n", cores)
+	fmt.Println(" the core count are skipped because they add no hardware parallelism)")
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := benchfmt.Write(f, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d curve records to %s\n", len(recs), outPath)
+	}
 }
 
 func fatal(err error) {

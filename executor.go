@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -25,6 +26,30 @@ import (
 // worker scans the other shards in randomized victim order and steals
 // half of the first non-empty victim's queue (steal-half amortizes the
 // steal cost over several tasks, the classic work-stealing tradeoff).
+//
+// Multicore layout and topology invariants:
+//
+//   - shards are padded to cache lines (each is hammered by its owner
+//     and, under steal pressure, one thief at a time);
+//   - the load/demand/idle gauges each own a cache line: load is
+//     touched on every submit and every task completion by every
+//     worker, and before the padding all three shared one line with
+//     the striping cursor, bouncing it across cores on exactly the
+//     paths the sharded queues exist to decontend;
+//   - a submitter handle is round-oriented: rewind() returns it to its
+//     home shard at the start of each dispatch round, so one runner's
+//     chunk i lands on the same shard — and therefore, absent steals,
+//     the same worker and the same warm cache — every round (runner →
+//     shard affinity). Handles are striped at creation with a stride
+//     of the runner's round width, so concurrent runners' stripes are
+//     disjoint modulo the shard count;
+//   - workers spin briefly (own-queue + steal rescans) before parking.
+//     On a balanced plan the next round's chunks arrive within
+//     microseconds of the previous round's completion; the spin saves
+//     a futex-style park/wake round trip per worker per round. The
+//     spin budget is fixed at construction from the effective
+//     GOMAXPROCS: on a single-proc host spinning can only delay the
+//     submitter the worker is waiting on, so workers park immediately.
 
 // task is one unit of work. Jobs are preallocated structs (see
 // chunkJob), so submitting them allocates nothing. Tasks must be
@@ -94,11 +119,21 @@ func (s *shard) pop() task {
 type Executor struct {
 	shards  []shard
 	workers int
+	// spin is the workers' bounded pre-park rescan budget, fixed at
+	// construction from the effective GOMAXPROCS (0 on single-proc
+	// hosts — parking immediately hands the processor to submitters).
+	spin int
+
+	// The gauges below are the executor's only cross-core shared-write
+	// state on the steady path; each owns a cache line (see the layout
+	// notes in the file header).
+	_ [64]byte
 	// load gauges queued plus running tasks — incremented at submit,
 	// decremented when a task finishes. The batched front door reads it
 	// to decide whether speculating would add parallelism or only
 	// queueing (see Runner.run's load-aware path).
 	load atomic.Int64
+	_    [56]byte
 	// demand gauges in-flight invocations across every runner sharing
 	// this executor (each submitting up to Threads-1 speculative
 	// chunks; chunk 0 runs on its own goroutine). Queue depth alone
@@ -108,18 +143,29 @@ type Executor struct {
 	// the *other* in-flight invocations already cover every worker,
 	// speculative chunks buy queueing, not parallelism.
 	demand atomic.Int64
+	_      [56]byte
 	// idle counts parked workers, so the submit path only pays a wakeup
 	// scan when someone is actually asleep.
-	idle   atomic.Int64
-	cursor atomic.Uint32 // striping cursor for handle-less submits
+	idle atomic.Int64
+	_    [56]byte
+
+	cursor atomic.Uint32 // striping cursor for submitter homes and handle-less submits
 	closed atomic.Bool
 	done   sync.WaitGroup
 	once   sync.Once
 }
 
+// workerSpinRounds bounds a worker's pre-park rescan loop: each round
+// is one own-queue check plus one steal scan, with a Gosched between
+// rounds so an oversubscribed host donates the timeslice instead of
+// burning it. The budget is a few microseconds — cheaper than the
+// park/wake round trip it saves when rounds arrive back to back.
+const workerSpinRounds = 32
+
 // NewExecutor starts an executor with the given number of workers
 // (minimum 1), each owning one run-queue shard. Workers live until
-// Close.
+// Close. The workers' pre-park spin budget is sized from the effective
+// GOMAXPROCS at construction (zero on single-proc hosts).
 func NewExecutor(workers int) *Executor {
 	if workers < 1 {
 		workers = 1
@@ -127,6 +173,9 @@ func NewExecutor(workers int) *Executor {
 	e := &Executor{
 		shards:  make([]shard, workers),
 		workers: workers,
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		e.spin = workerSpinRounds
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]
@@ -174,20 +223,35 @@ func (e *Executor) overloaded(threads int) bool {
 }
 
 // submitter is a runner's striped handle into the sharded executor:
-// each handle starts at its own home shard (assigned round-robin at
-// creation) and advances one shard per submission, so concurrent
-// runners spread their chunk jobs across disjoint shards instead of
-// contending on one lock. A submitter is not safe for concurrent use —
-// exactly the runner's own serialization contract.
+// each handle owns a home shard and advances one shard per submission
+// within a dispatch round, so concurrent runners spread their chunk
+// jobs across disjoint shard stripes instead of contending on one
+// lock. rewind() returns the handle to its home at the start of every
+// round, giving the runner shard affinity: chunk i of every round
+// lands on the same shard — and, absent steals, the same worker with
+// the chunk's slot still warm in cache. A submitter is not safe for
+// concurrent use — exactly the runner's own serialization contract.
 type submitter struct {
 	e    *Executor
+	home uint32
 	next uint32
 }
 
-// newSubmitter assigns a fresh handle its home shard.
-func (e *Executor) newSubmitter() submitter {
-	return submitter{e: e, next: e.cursor.Add(1)}
+// newSubmitter assigns a fresh handle its home shard, advancing the
+// executor-wide cursor by width (the handle's expected submissions per
+// round) so concurrent handles occupy disjoint stripes modulo the
+// shard count.
+func (e *Executor) newSubmitter(width int) submitter {
+	if width < 1 {
+		width = 1
+	}
+	home := e.cursor.Add(uint32(width)) - uint32(width)
+	return submitter{e: e, home: home, next: home}
 }
+
+// rewind returns the handle to its home shard for a new dispatch round
+// (runner → shard affinity; see the type comment).
+func (s *submitter) rewind() { s.next = s.home }
 
 // submit enqueues a task on the handle's next shard; it blocks only
 // while every shard is full. Tasks never block on other tasks (chunk
@@ -302,29 +366,42 @@ func (e *Executor) worker(i int) {
 }
 
 // dequeue returns worker i's next task: its own shard's head, else a
-// steal-half from another shard (randomized victim order), else it
-// parks until a submitter signals. A nil return means the executor is
-// closed and neither the own shard nor any victim has work left.
+// steal-half from another shard (randomized victim order), else — on
+// multi-proc hosts — a bounded spin of rescans, and only then parking
+// until a submitter signals. Back-to-back dispatch rounds land their
+// chunks within the spin window, so the steady state pays no
+// park/wake round trip per worker per round. A nil return means the
+// executor is closed and neither the own shard nor any victim has
+// work left.
 func (e *Executor) dequeue(i int, batch *[]task) task {
 	own := &e.shards[i]
 	// Cheap per-worker xorshift for victim order; no shared state, no
 	// allocation.
 	rnd := uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	for {
-		own.mu.Lock()
-		if own.n > 0 {
-			t := own.pop()
-			waiting := own.waiting > 0
-			own.mu.Unlock()
-			if waiting {
-				own.space.Broadcast()
+		for s := 0; ; s++ {
+			own.mu.Lock()
+			if own.n > 0 {
+				t := own.pop()
+				waiting := own.waiting > 0
+				own.mu.Unlock()
+				if waiting {
+					own.space.Broadcast()
+				}
+				return t
 			}
-			return t
-		}
-		own.mu.Unlock()
+			own.mu.Unlock()
 
-		if t := e.steal(i, &rnd, batch); t != nil {
-			return t
+			if t := e.steal(i, &rnd, batch); t != nil {
+				return t
+			}
+			// Spin-before-park: rescan up to e.spin times unless the
+			// executor is shutting down (then fall through to the
+			// close-aware park path, which drains and exits).
+			if s >= e.spin || e.closed.Load() {
+				break
+			}
+			runtime.Gosched()
 		}
 
 		// Nothing anywhere: park on the own shard unless the executor is

@@ -1,0 +1,111 @@
+package spice
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// This file is the invocation completion latch: the join point between
+// a dispatch round's chunks and the invoking goroutine. It replaces the
+// sync.WaitGroup the scheduler used through PR 5. A WaitGroup is
+// general — any number of waiters, Add/Wait races guarded by extra
+// state transitions — and its Wait parks on the runtime semaphore
+// immediately. A dispatch round needs none of that generality: exactly
+// one waiter (the invoker, which just ran chunk 0 inline), a count
+// armed strictly before any decrement can reach zero (jobs are
+// submitted after add), and chunks that — on a balanced plan — finish
+// within microseconds of chunk 0. The latch exploits all three:
+//
+//   - add/done are single atomic adds on one dedicated cache line;
+//   - the waiter spins briefly before parking, so a round whose last
+//     chunk completes while the invoker drains chunk 0's bookkeeping
+//     costs no park/wake round trip at all;
+//   - parking is a single channel receive of one token, sent by
+//     whichever done() both reached zero and observed a parked waiter —
+//     at most one token per round, consumed by the round that sent it.
+//
+// The spin budget is topology-aware: on a single-proc host (effective
+// GOMAXPROCS 1 at construction) spinning can only delay the workers the
+// waiter is waiting for, so the latch parks immediately, which hands
+// the processor to them — exactly the WaitGroup behaviour.
+
+// latchSpinIters bounds the waiter's pre-park spin. Each iteration is
+// one atomic load; the whole budget is a few microseconds — less than a
+// park/wake round trip through the runtime semaphore, and far less than
+// one chunk of useful work.
+const latchSpinIters = 4096
+
+// latchSpinYield is the spin stride between runtime.Gosched calls, so a
+// waiter sharing its processor with a runnable worker (oversubscribed
+// host) donates timeslices instead of burning its whole budget.
+const latchSpinYield = 256
+
+// latch is a single-waiter completion barrier. state packs the
+// outstanding-chunk count in the high 63 bits and a "waiter parked" bit
+// in bit 0:
+//
+//	state = outstanding<<1 | parked
+//
+// Exactly one goroutine calls add/wait (the invoker; rounds are
+// strictly sequential), and each chunk calls done exactly once per
+// round. The done() that brings the count to zero *and* sees the parked
+// bit sends the round's single wake token; a waiter that registered the
+// parked bit but lost the race to a finishing chunk (its add(1) saw the
+// count already at zero) withdraws the bit and never consumes a token,
+// so the channel is empty between rounds by construction.
+type latch struct {
+	state atomic.Int64
+	_     [56]byte // keep the hammered counter off the neighbouring fields
+	// park carries the single wake token of a parked round. Buffered so
+	// the final done() never blocks inside a chunk's deferred epilogue.
+	park chan struct{}
+	// spin is the pre-park spin budget, fixed at construction from the
+	// effective GOMAXPROCS (0 on single-proc hosts: parking immediately
+	// hands the processor to the workers being waited on).
+	spin int
+}
+
+// newLatch initializes l in place with a topology-appropriate spin
+// budget.
+func (l *latch) init() {
+	l.park = make(chan struct{}, 1)
+	if runtime.GOMAXPROCS(0) > 1 {
+		l.spin = latchSpinIters
+	}
+}
+
+// add arms n more completions. Must only be called by the waiter
+// goroutine, strictly before wait() of the same round.
+func (l *latch) add(n int) {
+	l.state.Add(int64(n) << 1)
+}
+
+// done signals one completion. The decrement that both reaches a zero
+// count and observes the parked bit delivers the round's wake token.
+func (l *latch) done() {
+	if l.state.Add(-1<<1) == 1 {
+		l.park <- struct{}{}
+	}
+}
+
+// wait blocks the (single) waiter until every armed completion has
+// signalled: a bounded spin first, then one park on the token channel.
+func (l *latch) wait() {
+	for i := 0; i < l.spin; i++ {
+		if l.state.Load() == 0 {
+			return
+		}
+		if i%latchSpinYield == latchSpinYield-1 {
+			runtime.Gosched()
+		}
+	}
+	// Register as parked. If the count already hit zero, the final
+	// done() ran entirely before the registration and saw the bit clear
+	// — no token is coming — so withdraw and return.
+	if l.state.Add(1)>>1 == 0 {
+		l.state.Add(-1)
+		return
+	}
+	<-l.park
+	l.state.Add(-1) // clear the parked bit: state is 0 between rounds
+}

@@ -1,0 +1,210 @@
+package spice
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests cover the scheduler's multicore joins end to end: a
+// cancellation arriving while the invoker is parked on the completion
+// latch, a speculative chunk panicking while the invoker is parked,
+// and the contention bound for two runners sharing one executor. The
+// park path is forced deterministically by zeroing the latch's spin
+// budget — on a fast machine the spin fast path would otherwise absorb
+// most rounds and leave the park/wake protocol untested.
+
+// blockingListRunner builds a Threads-2 runner over an n-node list
+// whose node at index blockAt spins (cooperatively) once armed, until
+// release is stored. The two warm-up invocations run before arming, so
+// bootstrap and steady-state memoization see a plain list.
+func blockingListRunner(t *testing.T, n, blockAt int, armed, release *atomic.Bool,
+	reached chan<- struct{}) (*Runner[*node, sumAcc], *testList) {
+	t.Helper()
+	l := newTestList(n, 23)
+	blocker := l.nodes()[blockAt]
+	loop := xorLoop()
+	inner := loop.Body
+	loop.Body = func(nd *node, a sumAcc) sumAcc {
+		if nd == blocker && armed.Load() {
+			reached <- struct{}{}
+			for !release.Load() {
+				runtime.Gosched()
+			}
+		}
+		return inner(nd, a)
+	}
+	r, err := NewRunner(loop, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustRun(l.head) // bootstrap memoization
+	r.MustRun(l.head) // settle into the parallel steady state
+	return r, l
+}
+
+func TestCancellationWhileInvokerParked(t *testing.T) {
+	const size = 4096
+	var armed, release atomic.Bool
+	reached := make(chan struct{})
+	// Block inside the speculative chunk (the second half of the list):
+	// chunk 0 finishes its half quickly and the invoker parks on the
+	// latch with the speculative chunk still pinned at the blocker.
+	r, l := blockingListRunner(t, size, 3*size/4, &armed, &release, reached)
+	defer r.Close()
+	r.sched.lat.spin = 0 // force the invoker onto the park path
+
+	armed.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx, l.head)
+		done <- err
+	}()
+	<-reached // the speculative chunk is pinned; the invoker is parking
+	cancel()
+	armed.Store(false)
+	release.Store(true) // let the chunk reach its next ctx poll boundary
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("invoker never woke from the latch after cancellation")
+	}
+	// The wake token and parked bit must not leak into the next round:
+	// the runner still produces exact results.
+	if got, want := r.MustRun(l.head), sequential(xorLoop(), l.head); got != want {
+		t.Fatalf("post-cancel run: got %+v want %+v", got, want)
+	}
+}
+
+func TestSpeculativeChunkPanicWhileInvokerParked(t *testing.T) {
+	const size = 4096
+	l := newTestList(size, 29)
+	bomb := l.nodes()[3*size/4]
+	var armed atomic.Bool
+	loop := xorLoop()
+	inner := loop.Body
+	loop.Body = func(nd *node, a sumAcc) sumAcc {
+		if nd == bomb && armed.Load() {
+			panic("speculative chunk detonated")
+		}
+		return inner(nd, a)
+	}
+	r, err := NewRunner(loop, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.MustRun(l.head)
+	r.MustRun(l.head)
+	r.sched.lat.spin = 0 // the invoker must actually park this round
+
+	// The panicking chunk's deferred epilogue records the *PanicError
+	// first and signals the latch last (defer LIFO), so the parked
+	// invoker wakes to a fully-written result slot.
+	armed.Store(true)
+	_, rerr := r.Run(context.Background(), l.head)
+	var pe *PanicError
+	if !errors.As(rerr, &pe) {
+		t.Fatalf("err = %v, want *PanicError", rerr)
+	}
+	if pe.Value != "speculative chunk detonated" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	armed.Store(false)
+	if got, want := r.MustRun(l.head), sequential(xorLoop(), l.head); got != want {
+		t.Fatalf("post-panic run: got %+v want %+v", got, want)
+	}
+}
+
+// TestSharedExecutorContentionBounded is the contention regression
+// gate: two runners sharing one executor at GOMAXPROCS 2 must not slow
+// each other beyond a bounded factor of their solo speed. The striped
+// submitter handles give each runner its own home shard, so contended
+// dispatch degrades by queue sharing and timeslicing — not by a
+// collapsed single queue. Wall-clock bound, so it skips under the race
+// detector and -short.
+func TestSharedExecutorContentionBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock bound is meaningless under race instrumentation")
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+
+	e := NewExecutor(2)
+	defer e.Close()
+	const size, invocations, reps = 20_000, 20, 3
+	mk := func(seed int64) (*Runner[*node, sumAcc], *testList) {
+		l := newTestList(size, seed)
+		r, err := NewRunner(xorLoop(), Config{Threads: 2, Executor: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			r.MustRun(l.head) // warm memoization and runner state
+		}
+		return r, l
+	}
+	ra, la := mk(51)
+	defer ra.Close()
+	rb, lb := mk(52)
+	defer rb.Close()
+
+	drive := func(r *Runner[*node, sumAcc], head *node) time.Duration {
+		start := time.Now()
+		for i := 0; i < invocations; i++ {
+			r.MustRun(head)
+		}
+		return time.Since(start)
+	}
+	minOf := func(f func() time.Duration) time.Duration {
+		best := f()
+		for i := 1; i < reps; i++ {
+			if d := f(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	soloA := minOf(func() time.Duration { return drive(ra, la.head) })
+	soloB := minOf(func() time.Duration { return drive(rb, lb.head) })
+
+	contA, contB := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < reps; i++ {
+		var a, b time.Duration
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); a = drive(ra, la.head) }()
+		go func() { defer wg.Done(); b = drive(rb, lb.head) }()
+		wg.Wait()
+		if a < contA {
+			contA = a
+		}
+		if b < contB {
+			contB = b
+		}
+	}
+
+	// Two invokers timeshare the available processors, so a factor ~2
+	// is inherent on a saturated host; 6 leaves room for scheduling
+	// noise while still catching a collapsed-queue regression (which
+	// shows up as 10x+ when every dispatch serializes).
+	const bound = 6
+	if contA > bound*soloA {
+		t.Errorf("runner A contended %v > %d× solo %v", contA, bound, soloA)
+	}
+	if contB > bound*soloB {
+		t.Errorf("runner B contended %v > %d× solo %v", contB, bound, soloB)
+	}
+}

@@ -23,7 +23,10 @@ type PoolConfig struct {
 	// must be nil: the pool owns its executor.
 	Config
 	// Workers is the number of persistent executor workers shared by all
-	// invocations. Zero defaults to max(Threads, GOMAXPROCS).
+	// invocations. Zero defaults to max(Threads-1, GOMAXPROCS-1, 1):
+	// every invocation runs its chunk 0 inline on the submitting
+	// goroutine, so the invokers themselves occupy one processor each
+	// and the workers only need to cover the speculative chunks.
 	Workers int
 }
 
@@ -68,9 +71,17 @@ func NewPool[S comparable, A any](loop Loop[S, A], cfg PoolConfig) (*Pool[S, A],
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if cfg.Threads > workers {
-			workers = cfg.Threads
+		// Topology-aware default: invokers run chunk 0 inline, so one
+		// processor per in-flight invocation is already spoken for and
+		// the shared workers only carry speculative chunks. Sizing to
+		// GOMAXPROCS-1 (or Threads-1 if wider) keeps worker count at
+		// the parallelism the host can actually deliver.
+		workers = runtime.GOMAXPROCS(0) - 1
+		if t := cfg.Threads - 1; t > workers {
+			workers = t
+		}
+		if workers < 1 {
+			workers = 1
 		}
 	}
 	p := &Pool[S, A]{loop: loop, cfg: cfg.Config, exec: NewExecutor(workers)}

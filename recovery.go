@@ -84,6 +84,9 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 			s.used = n
 		}
 		s.armAbort()
+		// Same warm-queue affinity as the primary round: chunk i of every
+		// recovery round lands on the runner's home shard stripe.
+		r.sub.rewind()
 		for i := 0; i < n; i++ {
 			st := cur
 			posBase := globalPos
@@ -98,7 +101,7 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 				ownRow = cands[i]
 			}
 			s.jobs[i].reset(r, ctx, st, snap, ownRow, i > 0, s.recPlans[i], posBase, cap64)
-			s.wg.Add(1)
+			s.lat.add(1)
 			if i > 0 {
 				r.sub.submit(&s.jobs[i])
 			}
@@ -107,7 +110,7 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 		// the primary round's chunk 0 — a round with no speculative
 		// candidates left never touches the executor at all.
 		s.jobs[0].run()
-		s.wg.Wait()
+		s.lat.wait()
 
 		// Resolve the round's chain: commit the valid prefix at exact
 		// global positions, squash the rest. A failed chunk in the valid

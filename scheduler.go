@@ -3,7 +3,6 @@ package spice
 import (
 	"context"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"spice/internal/rt"
@@ -42,11 +41,35 @@ import (
 // Chunk 0 — the non-speculative chunk whose start is architecturally
 // correct — runs inline on the invoking goroutine instead of round-
 // tripping through the executor: the speculative chunks are submitted
-// first, then the caller executes chunk 0 itself and parks on the
-// round's WaitGroup. This removes a submit/park/wake handoff per
+// first, then the caller executes chunk 0 itself and joins the round
+// on the completion latch. This removes a submit/park/wake handoff per
 // invocation and leaves every executor worker for speculative chunks;
 // abort-barrier, ctx-poll and panic-containment semantics are
 // unchanged because chunk 0 runs the same chunkJob.run.
+//
+// Cache-line layout invariants (the multicore contract of this file):
+//
+//   - The round's only cross-core shared-write state is the completion
+//     latch (one countdown add per chunk exit, see latch.go) and the
+//     abort barrier (written only on failure, polled read-only every
+//     ctxPollEvery iterations). Each owns a cache line in the scheduler
+//     struct below; nothing else in the struct is written while chunks
+//     run.
+//   - chunkResult slots are written by exactly one worker each, in one
+//     shot at chunk exit — but neighbouring chunks exit within
+//     microseconds of each other on a balanced plan, so the slots are
+//     padded apart (chunkResult's trailing pad): two workers' exit
+//     stores never contend for a line.
+//   - chunkJob slots are written only during dispatch (before any
+//     submit) and read-only while the round runs; read-sharing is
+//     free, so jobs carry no padding.
+//   - works/memos/dispRows/admitBuf/used are touched only by the
+//     invoking goroutine, strictly outside the window in which workers
+//     run (dispatch before, chain resolution after the latch wait) —
+//     never concurrently with chunk execution.
+//   - Per-runner stats (runner.pend) accumulate on the invoking
+//     goroutine and publish once per invocation under runnerStats.mu;
+//     workers never write them.
 
 // chunkResult is one chunk's outcome.
 type chunkResult[S comparable, A any] struct {
@@ -58,15 +81,22 @@ type chunkResult[S comparable, A any] struct {
 	endState S     // state at stop (valid only when capped)
 	active   bool  // chunk was dispatched this round
 	err      error // body error, ctx error, *PanicError, or errChunkAborted
+
+	// Trailing pad, one full cache line: each slot is written by one
+	// worker in one shot at chunk exit, and balanced chunks exit nearly
+	// simultaneously — the pad keeps any two slots' fields at least a
+	// line apart regardless of the generic instantiation's size, so
+	// concurrent exit stores never false-share (see the header).
+	_ [64]byte
 }
 
 // chunkJob is a preallocated executor task: one chunk of one invocation.
-// res, wg and idx are wired once at scheduler construction; the
+// res, lat and idx are wired once at scheduler construction; the
 // remaining fields are reset per dispatch.
 type chunkJob[S comparable, A any] struct {
 	r       *Runner[S, A]
 	res     *chunkResult[S, A]
-	wg      *sync.WaitGroup
+	lat     *latch
 	idx     int // dispatch slot: position in the round's validation chain
 	ctx     context.Context
 	start   S
@@ -118,7 +148,7 @@ func (j *chunkJob[S, A]) reset(r *Runner[S, A], ctx context.Context, start S, sn
 // and the chain resolution decides whether the failure is
 // architectural (surfaces from Run) or speculative (squashed).
 func (j *chunkJob[S, A]) run() {
-	defer j.wg.Done()
+	defer j.lat.done()
 	r := j.r
 	sched := r.sched
 	res := j.res
@@ -313,7 +343,12 @@ type scheduler[S comparable, A any] struct {
 	// full-threads sweep per invocation — and stale slots still cannot
 	// leak into squash accounting or LastWorks.
 	used int
-	wg   sync.WaitGroup
+
+	// The two fields below are the round's only cross-core shared-write
+	// state (see the header's layout invariants); the leading pad keeps
+	// them off the invoker-only buffers above, and the pad between them
+	// gives each its own cache line.
+	_ [64]byte
 	// abort is the failure barrier of one dispatch round: the lowest
 	// chain index that has failed so far (MaxInt64 when none). Chunks
 	// with a higher index are certain to be squashed — the validation
@@ -322,6 +357,10 @@ type scheduler[S comparable, A any] struct {
 	// are untouched: they must finish normally for the first error to be
 	// attributed deterministically in iteration order.
 	abort atomic.Int64
+	_     [56]byte
+	// lat is the round's completion barrier: one done() per chunk exit,
+	// one wait() by the invoker after it runs chunk 0 inline (latch.go).
+	lat latch
 }
 
 func newScheduler[S comparable, A any](threads int) *scheduler[S, A] {
@@ -333,9 +372,10 @@ func newScheduler[S comparable, A any](threads int) *scheduler[S, A] {
 		dispRows: make([]int, 0, threads),
 		admitBuf: make([]int, 0, threads),
 	}
+	s.lat.init()
 	for j := range s.jobs {
 		s.jobs[j].res = &s.results[j]
-		s.jobs[j].wg = &s.wg
+		s.jobs[j].lat = &s.lat
 		s.jobs[j].idx = j
 	}
 	return s
@@ -474,6 +514,9 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	}
 	s.used = n
 	s.armAbort()
+	// Rewind the submitter to the runner's home shard so chunk i lands
+	// on the same executor queue every round (warm-queue affinity).
+	r.sub.rewind()
 	var dispatchErr error
 	armed := 0
 	for i := 0; i < n; i++ {
@@ -499,7 +542,7 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			snap = &rows[ownRow]
 		}
 		s.jobs[i].reset(r, ctx, startState, snap, ownRow, i > 0, r.pred.planFor(planIdx), posBase, cap64)
-		s.wg.Add(1)
+		s.lat.add(1)
 		if i > 0 {
 			r.sub.submit(&s.jobs[i])
 		}
@@ -513,7 +556,7 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	if armed > 0 {
 		s.jobs[0].run()
 	}
-	s.wg.Wait()
+	s.lat.wait()
 	defer s.release()
 
 	// --- Validation chain --------------------------------------------

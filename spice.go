@@ -57,6 +57,7 @@ package spice
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 
 	"spice/internal/rt"
@@ -192,9 +193,12 @@ type Config struct {
 	MemoizeOnce bool
 	// Executor, when non-nil, is a shared worker pool the runner submits
 	// its chunks to; the caller owns its lifecycle. When nil, the runner
-	// starts (and Close releases) a private executor of Threads-1
-	// workers — chunk 0 of every invocation runs inline on the invoking
-	// goroutine, so only the speculative chunks need workers.
+	// starts (and Close releases) a private executor sized from the
+	// topology at construction: min(Threads-1, GOMAXPROCS-1) workers,
+	// at least 1 — chunk 0 of every invocation runs inline on the
+	// invoking goroutine, so only the speculative chunks need workers,
+	// and workers beyond the processors actually available would only
+	// add scheduling pressure, never parallelism.
 	Executor *Executor
 	// Options tunes the adaptive speculation controller.
 	Options
@@ -337,10 +341,11 @@ var ErrPoolExecutor = errors.New("spice: PoolConfig must not set Config.Executor
 var ErrPoolClosed = errors.New("spice: pool is closed")
 
 // NewRunner builds a Runner for the loop. Unless cfg.Executor is set,
-// the runner starts a private executor of Threads-1 persistent workers
-// (each invocation's chunk 0 runs inline on the invoking goroutine, so
-// only the speculative chunks need workers); call Close to release
-// them.
+// the runner starts a private executor of min(Threads-1, GOMAXPROCS-1)
+// persistent workers, at least one (each invocation's chunk 0 runs
+// inline on the invoking goroutine, so only the speculative chunks need
+// workers, and workers beyond the effective processor count add no
+// parallelism); call Close to release them.
 func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A], error) {
 	if err := loop.validate(); err != nil {
 		return nil, err
@@ -371,15 +376,25 @@ func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A],
 		} else {
 			// Chunk 0 runs inline on the invoking goroutine (see
 			// scheduler.go), so a private executor only ever receives the
-			// Threads-1 speculative chunks — one fewer persistent worker
-			// per runner.
-			r.exec = NewExecutor(cfg.Threads - 1)
+			// Threads-1 speculative chunks — and workers beyond the
+			// effective GOMAXPROCS at construction cannot run in
+			// parallel anyway, so the size is clamped to the topology.
+			workers := cfg.Threads - 1
+			if p := runtime.GOMAXPROCS(0) - 1; p < workers {
+				workers = p
+			}
+			if workers < 1 {
+				workers = 1
+			}
+			r.exec = NewExecutor(workers)
 			r.ownsExec = true
 		}
-		// Each runner submits through its own striped handle, so
-		// concurrent runners on one shared executor start from distinct
-		// shards instead of contending on a single queue.
-		r.sub = r.exec.newSubmitter()
+		// Each runner submits through its own striped handle spanning
+		// the width of one dispatch round, so concurrent runners on one
+		// shared executor own disjoint shard stripes instead of
+		// contending on a single queue — and rewind() (scheduler.go)
+		// re-lands chunk i on the same warm shard every round.
+		r.sub = r.exec.newSubmitter(cfg.Threads - 1)
 	}
 	return r, nil
 }
