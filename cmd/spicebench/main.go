@@ -44,10 +44,10 @@ import (
 	"spice/internal/benchfmt"
 	"spice/internal/harness"
 	"spice/internal/model"
-	"spice/internal/poolbench"
 	"spice/internal/sim"
 	"spice/internal/stats"
 	"spice/internal/workloads"
+	"spice/internal/workloads/native"
 )
 
 func main() {
@@ -279,11 +279,11 @@ func poolTable() {
 	header("Native runtime: concurrent invocation throughput (spice.Pool)")
 
 	rng := rand.New(rand.NewSource(29))
-	head, _ := poolbench.BuildList(rng, 100_000)
+	head, _ := native.BuildList(rng, 100_000)
 	const perSubmitter = 100
 
 	measure := func(threads, submitters int) (invPerSec float64, runners int, st spice.Stats) {
-		p, err := spice.NewPool(poolbench.Loop(), spice.PoolConfig{Config: spice.Config{Threads: threads}})
+		p, err := spice.NewPool(native.Loop(), spice.PoolConfig{Config: spice.Config{Threads: threads}})
 		if err != nil {
 			fatal(err)
 		}
@@ -344,14 +344,14 @@ func adaptiveTable() {
 
 	const listLen, invocations, nLists = 50_000, 120, 8
 	rng := rand.New(rand.NewSource(31))
-	stable, _ := poolbench.BuildList(rng, listLen)
-	hostile := make([]*poolbench.Node, nLists)
+	stable, _ := native.BuildList(rng, listLen)
+	hostile := make([]*native.Node, nLists)
 	for i := range hostile {
-		hostile[i], _ = poolbench.BuildList(rng, listLen)
+		hostile[i], _ = native.BuildList(rng, listLen)
 	}
 
-	measure := func(cfg spice.Config, heads func(int) *poolbench.Node) (secs float64, st spice.Stats) {
-		r, err := spice.NewRunner(poolbench.Loop(), cfg)
+	measure := func(cfg spice.Config, heads func(int) *native.Node) (secs float64, st spice.Stats) {
+		r, err := spice.NewRunner(native.Loop(), cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -370,10 +370,10 @@ func adaptiveTable() {
 		"workload", "mode", "vs sequential", "hits", "misses", "eff threads", "seq fallbacks"}}
 	for _, w := range []struct {
 		name  string
-		heads func(int) *poolbench.Node
+		heads func(int) *native.Node
 	}{
-		{"stable", func(int) *poolbench.Node { return stable }},
-		{"unstable", func(i int) *poolbench.Node { return hostile[i%nLists] }},
+		{"stable", func(int) *native.Node { return stable }},
+		{"unstable", func(i int) *native.Node { return hostile[i%nLists] }},
 	} {
 		seq, _ := measure(spice.Config{Threads: 1}, w.heads)
 		for _, m := range []struct {
@@ -409,11 +409,11 @@ func batchTable() {
 
 	const listLen, perSubmitter, batchLen, window = 2_000, 400, 64, 4
 	rng := rand.New(rand.NewSource(41))
-	head, _ := poolbench.BuildList(rng, listLen)
+	head, _ := native.BuildList(rng, listLen)
 	ctx := context.Background()
 
-	mkpool := func(submitters int) *spice.Pool[*poolbench.Node, int64] {
-		p, err := spice.NewPool(poolbench.Loop(), spice.PoolConfig{Config: spice.Config{Threads: 4}})
+	mkpool := func(submitters int) *spice.Pool[*native.Node, int64] {
+		p, err := spice.NewPool(native.Loop(), spice.PoolConfig{Config: spice.Config{Threads: 4}})
 		if err != nil {
 			fatal(err)
 		}
@@ -425,7 +425,7 @@ func batchTable() {
 		warm.Wait()
 		return p
 	}
-	drive := func(submitters int, each func(p *spice.Pool[*poolbench.Node, int64])) (invPerSec float64, st spice.Stats) {
+	drive := func(submitters int, each func(p *spice.Pool[*native.Node, int64])) (invPerSec float64, st spice.Stats) {
 		p := mkpool(submitters)
 		defer p.Close()
 		var wg sync.WaitGroup
@@ -439,13 +439,13 @@ func batchTable() {
 		return float64(submitters*perSubmitter) / elapsed, p.Stats()
 	}
 
-	naive := func(p *spice.Pool[*poolbench.Node, int64]) {
+	naive := func(p *spice.Pool[*native.Node, int64]) {
 		for i := 0; i < perSubmitter; i++ {
 			p.MustRun(head)
 		}
 	}
-	batched := func(p *spice.Pool[*poolbench.Node, int64]) {
-		starts := make([]*poolbench.Node, batchLen)
+	batched := func(p *spice.Pool[*native.Node, int64]) {
+		starts := make([]*native.Node, batchLen)
 		for i := range starts {
 			starts[i] = head
 		}
@@ -460,7 +460,7 @@ func batchTable() {
 			n -= k
 		}
 	}
-	async := func(p *spice.Pool[*poolbench.Node, int64]) {
+	async := func(p *spice.Pool[*native.Node, int64]) {
 		var futs [window]*spice.Future[int64]
 		for i := 0; i < perSubmitter; i++ {
 			if f := futs[i%window]; f != nil {
@@ -511,10 +511,10 @@ func speedupTable() {
 
 	const listLen, invocations = 100_000, 60
 	rng := rand.New(rand.NewSource(37))
-	head, _ := poolbench.BuildList(rng, listLen)
+	head, _ := native.BuildList(rng, listLen)
 
 	measure := func(threads int) (perInv float64, st spice.Stats) {
-		r, err := spice.NewRunner(poolbench.Loop(), spice.Config{Threads: threads})
+		r, err := spice.NewRunner(native.Loop(), spice.Config{Threads: threads})
 		if err != nil {
 			fatal(err)
 		}
@@ -568,7 +568,7 @@ func scalingCurve(outPath string) {
 
 	const listLen, invocations = 100_000, 40
 	rng := rand.New(rand.NewSource(43))
-	head, _ := poolbench.BuildList(rng, listLen)
+	head, _ := native.BuildList(rng, listLen)
 	cores := runtime.NumCPU()
 
 	grid := []int{1, 2, 4, 8, 16}
@@ -589,7 +589,7 @@ func scalingCurve(outPath string) {
 		row := []any{procs}
 		var base, best float64
 		for _, threads := range grid {
-			r, err := spice.NewRunner(poolbench.Loop(), spice.Config{Threads: threads})
+			r, err := spice.NewRunner(native.Loop(), spice.Config{Threads: threads})
 			if err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,96 @@
+// Command spiced serves the spice runtime to multiple tenants over
+// HTTP: JSON jobs naming registered native workload kernels, a bounded
+// admission queue (full queue answers 429 + Retry-After), per-tenant
+// concurrency caps and speculation budgets re-divided by recent hit
+// rate, and Prometheus-style /metrics. SIGINT/SIGTERM drains
+// gracefully: in-flight jobs finish, new ones are rejected with 503.
+//
+// Endpoints:
+//
+//	POST /v1/run      run a job synchronously
+//	POST /v1/submit   enqueue a job, answer 202 + id
+//	GET  /v1/jobs/:id poll an async job (result delivered once)
+//	GET  /v1/kernels  list registered kernels
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     200 serving / 503 draining
+//	GET  /debug/vars  expvar-style JSON snapshot
+//
+// Example:
+//
+//	spiced -listen :8080 &
+//	curl -s localhost:8080/v1/run -d '{"tenant":"a","kernel":"sumlist","size":100000,"invocations":4}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spice/internal/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":8080", "listen address")
+		maxWidth    = flag.Int("max-width", 0, "widest speculation per invocation (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "shared executor workers (0 = topology default)")
+		queueDepth  = flag.Int("queue", 0, "admission queue bound (0 = 256)")
+		tenantCap   = flag.Int("tenant-cap", 0, "per-tenant in-flight job cap (0 = 32)")
+		dispatchers = flag.Int("dispatchers", 0, "job executor goroutines (0 = GOMAXPROCS)")
+		rebalance   = flag.Duration("rebalance", 0, "budget allocator window (0 = 500ms)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution bound (0 = 30s)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		MaxWidth:    *maxWidth,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		TenantCap:   *tenantCap,
+		Dispatchers: *dispatchers,
+		Rebalance:   *rebalance,
+		JobTimeout:  *jobTimeout,
+	})
+	if err != nil {
+		log.Fatalf("spiced: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("spiced: listen %s: %v", *listen, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("spiced: serve: %v", err)
+		}
+	}()
+	fmt.Printf("spiced: serving on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("spiced: %s: draining (bound %s)", got, *drainWait)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Drain the engine first — in-flight jobs finish, new admissions get
+	// 503 — then close the listener once nothing is left to answer.
+	if err := s.Drain(ctx); err != nil {
+		log.Printf("spiced: drain: %v", err)
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("spiced: shutdown: %v", err)
+	}
+	log.Printf("spiced: drained, exiting")
+}

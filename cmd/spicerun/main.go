@@ -10,9 +10,13 @@
 // With -pool, spicerun instead drives the native runtime's concurrent
 // front door: -concurrent submitter goroutines each stream invocations
 // of a churning linked-list workload through one spice.Pool (persistent
-// shared workers), reporting aggregate throughput and runtime counters:
+// shared workers), reporting aggregate throughput and runtime counters.
+// -kernel selects the workload from the shared native-kernel registry
+// (internal/workloads — the same names the spiced daemon serves), so a
+// churn profile measured here is exactly the one a serving tenant would
+// run:
 //
-//	spicerun -pool -concurrent 8 -threads 4 -size 100000 -invocations 200
+//	spicerun -pool -kernel drift -concurrent 8 -threads 4 -size 100000 -invocations 200
 //
 // -timeout bounds the whole -pool drive with a context deadline; when it
 // fires, in-flight invocations are cut off and counted.
@@ -31,7 +35,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -39,14 +42,16 @@ import (
 
 	"spice"
 	"spice/internal/harness"
-	"spice/internal/poolbench"
 	"spice/internal/rt"
 	"spice/internal/stats"
 	"spice/internal/workloads"
+	"spice/internal/workloads/native"
 )
 
 func main() {
 	bench := flag.String("bench", "otter", "benchmark: ks, otter, 181.mcf, 458.sjeng")
+	kernel := flag.String("kernel", "sumlist", "native kernel for -pool (see internal/workloads: sumlist, drift, shuffle, hostile)")
+	churn := flag.Int("churn", 32, "per-invocation mutation count for the -pool kernel")
 	threads := flag.Int("threads", 4, "thread count for the Spice run")
 	showStats := flag.Bool("stats", false, "print runtime statistics and work history")
 	trace := flag.Bool("trace", false, "print planner decisions")
@@ -61,10 +66,16 @@ func main() {
 	flag.Parse()
 
 	if *pool {
+		k := native.ByName(*kernel)
+		if k == nil {
+			fmt.Fprintf(os.Stderr, "spicerun: unknown native kernel %q (have: %v)\n",
+				*kernel, native.Names())
+			os.Exit(2)
+		}
 		if *async {
-			runAsync(*concurrent, *threads, *workers, *size, *invocations, *timeout)
+			runAsync(k, *concurrent, *threads, *workers, *size, *invocations, *timeout)
 		} else {
-			runPool(*concurrent, *threads, *workers, *size, *invocations, *timeout)
+			runPool(k, *churn, *concurrent, *threads, *workers, *size, *invocations, *timeout)
 		}
 		return
 	}
@@ -133,7 +144,7 @@ func main() {
 // A non-zero timeout bounds the whole drive with a context deadline:
 // in-flight invocations are cut off at their next poll point and
 // reported, demonstrating the v2 cancellation plumbing under load.
-func runPool(concurrent, threads, workers int, size, invocations int64, timeout time.Duration) {
+func runPool(k *native.Kernel, churn, concurrent, threads, workers int, size, invocations int64, timeout time.Duration) {
 	if concurrent < 1 {
 		concurrent = 1
 	}
@@ -143,7 +154,7 @@ func runPool(concurrent, threads, workers int, size, invocations int64, timeout 
 	if invocations <= 0 {
 		invocations = 200
 	}
-	p, err := spice.NewPool(poolbench.Loop(), spice.PoolConfig{
+	p, err := spice.NewPool(native.Loop(), spice.PoolConfig{
 		Config:  spice.Config{Threads: threads},
 		Workers: workers,
 	})
@@ -160,9 +171,9 @@ func runPool(concurrent, threads, workers int, size, invocations int64, timeout 
 		defer cancel()
 	}
 
-	fmt.Printf("native pool: %d submitters x %d invocations, %d-element lists, "+
+	fmt.Printf("native pool: kernel %s, %d submitters x %d invocations, %d-element lists, "+
 		"%d chunks/invocation, %d shared workers\n",
-		concurrent, invocations, size, threads, p.Workers())
+		k.Name, concurrent, invocations, size, threads, p.Workers())
 
 	var cutOff atomic.Int64
 	var wg sync.WaitGroup
@@ -177,10 +188,9 @@ func runPool(concurrent, threads, workers int, size, invocations int64, timeout 
 				return
 			}
 			defer s.Close()
-			rng := rand.New(rand.NewSource(int64(g) + 1))
-			head, all := poolbench.BuildList(rng, size)
+			inst := k.New(size, int64(g)+1, churn)
 			for inv := int64(0); inv < invocations; inv++ {
-				if _, err := s.Run(ctx, head); err != nil {
+				if _, err := s.Run(ctx, inst.Head); err != nil {
 					if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 						cutOff.Add(1)
 						return
@@ -188,10 +198,9 @@ func runPool(concurrent, threads, workers int, size, invocations int64, timeout 
 					fmt.Fprintf(os.Stderr, "spicerun: %v\n", err)
 					return
 				}
-				// Value churn between invocations (the Spice scenario).
-				for k := 0; k < 32; k++ {
-					all[rng.Intn(len(all))].W = rng.Int63n(1 << 20)
-				}
+				// The kernel's churn profile between invocations (the
+				// Spice scenario).
+				inst.Mutate()
 			}
 		}(g)
 	}
@@ -220,7 +229,7 @@ func runPool(concurrent, threads, workers int, size, invocations int64, timeout 
 // times, so there is no quiesced window to mutate in). A non-zero
 // timeout cuts in-flight invocations off exactly as in runPool, but
 // observed through resolved futures instead of blocking Run returns.
-func runAsync(concurrent, threads, workers int, size, invocations int64, timeout time.Duration) {
+func runAsync(k *native.Kernel, concurrent, threads, workers int, size, invocations int64, timeout time.Duration) {
 	const window = 4
 	if concurrent < 1 {
 		concurrent = 1
@@ -231,7 +240,7 @@ func runAsync(concurrent, threads, workers int, size, invocations int64, timeout
 	if invocations <= 0 {
 		invocations = 200
 	}
-	p, err := spice.NewPool(poolbench.Loop(), spice.PoolConfig{
+	p, err := spice.NewPool(native.Loop(), spice.PoolConfig{
 		Config:  spice.Config{Threads: threads},
 		Workers: workers,
 	})
@@ -248,11 +257,13 @@ func runAsync(concurrent, threads, workers int, size, invocations int64, timeout
 		defer cancel()
 	}
 
-	rng := rand.New(rand.NewSource(1))
-	head, _ := poolbench.BuildList(rng, size)
-	fmt.Printf("native pool (async): %d submitters x %d invocations, %d-element shared list, "+
+	// Async futures pipeline over one shared, unmutated list (no quiesced
+	// window exists to churn in), so only the kernel's builder is used.
+	inst := k.New(size, 1, 0)
+	head := inst.Head
+	fmt.Printf("native pool (async): kernel %s, %d submitters x %d invocations, %d-element shared list, "+
 		"%d chunks/invocation, %d shared workers, future window %d\n",
-		concurrent, invocations, size, threads, p.Workers(), window)
+		k.Name, concurrent, invocations, size, threads, p.Workers(), window)
 
 	var cutOff atomic.Int64
 	var wg sync.WaitGroup

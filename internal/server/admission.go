@@ -1,0 +1,216 @@
+package server
+
+// Admission control: a bounded queue with backpressure in front of the
+// shared pool. Every job is either admitted — registered against its
+// tenant's concurrency cap and the drain WaitGroup, then queued — or
+// rejected immediately with 429 (queue full, tenant over its cap, async
+// table full) or 503 (draining), both with a Retry-After hint. Nothing
+// in the server buffers without a bound, so overload sheds instead of
+// growing the heap: the paper's runtime already degrades to sequential
+// execution under misspeculation, and the serving layer mirrors that
+// philosophy at the job level.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"spice/internal/workloads/native"
+)
+
+// jobState tracks a job through the queue.
+type jobState int32
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+)
+
+// job is one admitted unit of work: a validated request bound to its
+// tenant, a context bounding its execution, and a done channel the sync
+// handler (or async poller) observes.
+type job struct {
+	id     string
+	req    JobRequest
+	t      *tenant
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state  atomic.Int32 // holds a jobState
+	done   chan struct{}
+	result *JobResult
+	err    *apiError
+}
+
+// finish completes the job exactly once.
+func (j *job) finish(res *JobResult, aerr *apiError) {
+	j.result, j.err = res, aerr
+	j.state.Store(int32(jobDone))
+	close(j.done)
+	j.cancel()
+}
+
+// admit runs the full admission path. On success the job is in the
+// queue, its tenant's inflight count incremented and the drain
+// WaitGroup holding a reference; on failure the returned apiError names
+// the backpressure reason.
+func (s *Server) admit(j *job) *apiError {
+	// The RLock pairs with Drain's exclusive flip of s.draining: once
+	// Drain holds the write lock, no new job can slip past the jobWG
+	// registration below, so "drain completes in-flight jobs" is exact.
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		s.met.rejDraining.Add(1)
+		return &apiError{code: http.StatusServiceUnavailable, msg: "draining", retryAfter: 1}
+	}
+
+	t := j.t
+	t.mu.Lock()
+	if t.inflight >= s.cfg.TenantCap {
+		t.mu.Unlock()
+		s.met.rejTenantCap.Add(1)
+		return &apiError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("tenant %q at its concurrency cap (%d in flight)", t.name, s.cfg.TenantCap),
+			retryAfter: 1,
+		}
+	}
+	t.inflight++
+	t.mu.Unlock()
+
+	s.jobWG.Add(1)
+	select {
+	case s.queue <- j:
+		s.met.admitted.Add(1)
+		return nil
+	default:
+		s.jobWG.Done()
+		t.mu.Lock()
+		t.inflight--
+		t.mu.Unlock()
+		s.met.rejQueueFull.Add(1)
+		return &apiError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("admission queue full (%d jobs)", cap(s.queue)),
+			retryAfter: 1,
+		}
+	}
+}
+
+// dispatcher is one executor goroutine: it drains the admission queue
+// until the queue is closed (Drain does that only after the jobWG hits
+// zero, so `range` never strands an admitted job).
+func (s *Server) dispatcher() {
+	defer s.dispatchWG.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+// execute runs one admitted job to completion and settles all admission
+// accounting.
+func (s *Server) execute(j *job) {
+	if gate := s.testGate; gate != nil {
+		<-gate // test hook: hold the dispatcher to make queue states deterministic
+	}
+	j.state.Store(int32(jobRunning))
+	started := time.Now()
+	res, aerr := s.runJob(j, started)
+	s.met.jobLatency.observe(time.Since(started))
+	if aerr == nil {
+		s.met.jobsOK.Add(1)
+	} else {
+		s.met.jobsFailed.Add(1)
+	}
+	j.t.mu.Lock()
+	j.t.inflight--
+	j.t.mu.Unlock()
+	j.finish(res, aerr)
+	s.jobWG.Done()
+}
+
+// runJob executes the job's invocations on the tenant's structure
+// instance through a budget-width session, and folds the resulting
+// Stats delta into the tenant's accounting.
+func (s *Server) runJob(j *job, started time.Time) (*JobResult, *apiError) {
+	if err := j.ctx.Err(); err != nil {
+		// Cancelled while queued (client gone, timeout, or drain abort).
+		return nil, &apiError{code: statusClientClosedRequest, msg: "cancelled while queued: " + err.Error()}
+	}
+	inst := j.t.instanceFor(s, &j.req)
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+
+	budget := int(j.t.budget.Load())
+	if aerr := inst.ensureSession(s, budget); aerr != nil {
+		return nil, aerr
+	}
+	before := inst.sess.Stats()
+
+	var acc int64
+	var err error
+	if j.req.Churn == 0 && j.req.Invocations > 1 {
+		// An immutable structure lets the whole job ride one batched
+		// call: per-invocation session overhead is amortized and each
+		// item is shed-aware (sequential in place when the executor is
+		// saturated or the traversal too small — Stats.BatchSheds).
+		starts := make([]*native.Node, j.req.Invocations)
+		for i := range starts {
+			starts[i] = inst.inst.Head
+		}
+		var accs []int64
+		accs, err = inst.sess.RunBatch(j.ctx, starts)
+		if len(accs) > 0 {
+			acc = accs[len(accs)-1]
+		}
+	} else {
+		for inv := int64(0); inv < j.req.Invocations; inv++ {
+			acc, err = inst.sess.Run(j.ctx, inst.inst.Head)
+			if err != nil {
+				break
+			}
+			// The kernel's churn profile between invocations — the Spice
+			// scenario, and what makes per-tenant hit rates diverge.
+			inst.inst.Mutate()
+		}
+	}
+
+	d := inst.sess.Stats().Delta(before)
+	j.t.record(d)
+
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = statusClientClosedRequest
+		}
+		return nil, &apiError{code: code, msg: err.Error()}
+	}
+	return &JobResult{
+		ID:          j.id,
+		Tenant:      j.req.Tenant,
+		Kernel:      j.req.Kernel,
+		Result:      acc,
+		Invocations: j.req.Invocations,
+		Iters:       d.TotalIters,
+		Hits:        d.Hits,
+		Misses:      d.Misses,
+		Sheds:       d.BatchSheds,
+		Budget:      budget,
+		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
+	}, nil
+}
+
+// statusClientClosedRequest is nginx's conventional status for a
+// request abandoned by its client (there is no standard HTTP code).
+const statusClientClosedRequest = 499
+
+// newJobID mints a process-unique job id.
+func (s *Server) newJobID() string {
+	return "j" + strconv.FormatInt(s.nextID.Add(1), 10)
+}

@@ -1,0 +1,269 @@
+package server
+
+// Prometheus-style observability, hand-rolled on stdlib only: the
+// /metrics endpoint renders the text exposition format (counters,
+// gauges, one latency histogram) from the pool's Stats counters, the
+// admission queue's gauges and every tenant's budget/score/aggregate
+// counters; /debug/vars serves the same snapshot as expvar-style JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// durationBuckets are the job-latency histogram's upper bounds, in
+// seconds (log-spaced from 250µs to 10s, plus +Inf).
+var durationBuckets = [...]float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters
+// (cumulative rendering happens at scrape time).
+type histogram struct {
+	buckets [len(durationBuckets) + 1]atomic.Int64 // last = +Inf
+	sumNS   atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(durationBuckets[:], secs)
+	h.buckets[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// render writes the histogram in exposition format under the metric
+// name.
+func (h *histogram) render(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, le := range durationBuckets[:] {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, trimFloat(le), cum)
+	}
+	cum += h.buckets[len(durationBuckets)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count.Load())
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// metrics holds the server-level counters not derivable from pool or
+// tenant state.
+type metrics struct {
+	admitted     atomic.Int64
+	rejQueueFull atomic.Int64
+	rejTenantCap atomic.Int64
+	rejDraining  atomic.Int64
+	rejAsyncFull atomic.Int64
+	jobsOK       atomic.Int64
+	jobsFailed   atomic.Int64
+	jobLatency   histogram
+	// HTTP responses by status class (2xx/4xx/5xx) plus the exact 429
+	// count, the backpressure signal load generators watch.
+	http2xx, http429, http4xx, http5xx atomic.Int64
+}
+
+func (m *metrics) countStatus(code int) {
+	switch {
+	case code >= 200 && code < 300:
+		m.http2xx.Add(1)
+	case code == http.StatusTooManyRequests:
+		m.http429.Add(1)
+	case code >= 400 && code < 500:
+		m.http4xx.Add(1)
+	case code >= 500:
+		m.http5xx.Add(1)
+	}
+}
+
+// statusRecorder captures the response code for the HTTP counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// countedHandler wraps a handler with status-class counting.
+func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.met.countStatus(rec.code)
+	}
+}
+
+// tenantMetricsRow is one tenant's scrape snapshot, taken under the
+// tenant lock in snapshotTenants.
+type tenantMetricsRow struct {
+	name            string
+	budget          int64
+	score           float64
+	inflight        int64
+	invocations     int64
+	iters           int64
+	hits, misses    int64
+	misspecInv      int64
+	sheds, seqFalls int64
+	starved         bool
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	ps := s.pool.Stats()
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	// Admission and queue.
+	gauge("spiced_queue_depth", "jobs waiting in the admission queue", int64(len(s.queue)))
+	gauge("spiced_queue_capacity", "admission queue bound", int64(cap(s.queue)))
+	counter("spiced_jobs_admitted_total", "jobs accepted into the admission queue", s.met.admitted.Load())
+	fmt.Fprintf(&b, "# HELP spiced_jobs_rejected_total jobs rejected at admission\n# TYPE spiced_jobs_rejected_total counter\n")
+	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"queue_full\"} %d\n", s.met.rejQueueFull.Load())
+	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"tenant_cap\"} %d\n", s.met.rejTenantCap.Load())
+	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"draining\"} %d\n", s.met.rejDraining.Load())
+	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"async_full\"} %d\n", s.met.rejAsyncFull.Load())
+	counter("spiced_jobs_completed_total", "jobs that finished successfully", s.met.jobsOK.Load())
+	counter("spiced_jobs_failed_total", "jobs that finished with an error", s.met.jobsFailed.Load())
+
+	// HTTP.
+	fmt.Fprintf(&b, "# HELP spiced_http_responses_total HTTP responses by status class\n# TYPE spiced_http_responses_total counter\n")
+	fmt.Fprintf(&b, "spiced_http_responses_total{class=\"2xx\"} %d\n", s.met.http2xx.Load())
+	fmt.Fprintf(&b, "spiced_http_responses_total{class=\"429\"} %d\n", s.met.http429.Load())
+	fmt.Fprintf(&b, "spiced_http_responses_total{class=\"4xx\"} %d\n", s.met.http4xx.Load())
+	fmt.Fprintf(&b, "spiced_http_responses_total{class=\"5xx\"} %d\n", s.met.http5xx.Load())
+
+	// Pool-level runtime counters.
+	gauge("spiced_pool_workers", "shared executor workers", int64(s.pool.Workers()))
+	gauge("spiced_pool_runners", "runner states created (high-water concurrency)", int64(s.pool.Runners()))
+	counter("spiced_pool_invocations_total", "loop invocations executed", ps.Invocations)
+	counter("spiced_pool_iters_total", "loop iterations committed", ps.TotalIters)
+	counter("spiced_pool_spec_hits_total", "speculative chunks committed", ps.Hits)
+	counter("spiced_pool_spec_misses_total", "speculative chunks squashed", ps.Misses)
+	counter("spiced_pool_squashed_iters_total", "speculative iterations discarded", ps.SquashedIters)
+	counter("spiced_pool_recoveries_total", "parallel squash-recovery rounds", ps.Recoveries)
+	counter("spiced_pool_batch_sheds_total", "invocations shed to in-place sequential execution", ps.BatchSheds)
+
+	// Per-tenant serving state: the budget allocator's outputs next to
+	// the evidence they were computed from.
+	rows := s.snapshotTenants()
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "# HELP spiced_tenant_budget speculation width currently allocated to the tenant\n# TYPE spiced_tenant_budget gauge\n")
+		for _, t := range rows {
+			fmt.Fprintf(&b, "spiced_tenant_budget{tenant=%q} %d\n", t.name, t.budget)
+		}
+		fmt.Fprintf(&b, "# HELP spiced_tenant_score smoothed speculative hit rate\n# TYPE spiced_tenant_score gauge\n")
+		for _, t := range rows {
+			fmt.Fprintf(&b, "spiced_tenant_score{tenant=%q} %.4f\n", t.name, t.score)
+		}
+		fmt.Fprintf(&b, "# HELP spiced_tenant_starved 1 when the allocator pinned the tenant to sequential execution\n# TYPE spiced_tenant_starved gauge\n")
+		for _, t := range rows {
+			v := 0
+			if t.starved {
+				v = 1
+			}
+			fmt.Fprintf(&b, "spiced_tenant_starved{tenant=%q} %d\n", t.name, v)
+		}
+		fmt.Fprintf(&b, "# HELP spiced_tenant_inflight admitted jobs not yet finished\n# TYPE spiced_tenant_inflight gauge\n")
+		for _, t := range rows {
+			fmt.Fprintf(&b, "spiced_tenant_inflight{tenant=%q} %d\n", t.name, t.inflight)
+		}
+		perTenantCounter := func(name, help string, get func(tenantMetricsRow) int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, t := range rows {
+				fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, t.name, get(t))
+			}
+		}
+		perTenantCounter("spiced_tenant_invocations_total", "loop invocations executed for the tenant",
+			func(t tenantMetricsRow) int64 { return t.invocations })
+		perTenantCounter("spiced_tenant_iters_total", "loop iterations committed for the tenant",
+			func(t tenantMetricsRow) int64 { return t.iters })
+		perTenantCounter("spiced_tenant_spec_hits_total", "speculative chunks committed for the tenant",
+			func(t tenantMetricsRow) int64 { return t.hits })
+		perTenantCounter("spiced_tenant_spec_misses_total", "speculative chunks squashed for the tenant",
+			func(t tenantMetricsRow) int64 { return t.misses })
+		perTenantCounter("spiced_tenant_misspec_invocations_total", "tenant invocations with at least one squashed chunk",
+			func(t tenantMetricsRow) int64 { return t.misspecInv })
+		perTenantCounter("spiced_tenant_batch_sheds_total", "tenant invocations shed to sequential in-place execution",
+			func(t tenantMetricsRow) int64 { return t.sheds })
+		perTenantCounter("spiced_tenant_sequential_fallbacks_total", "tenant invocations forced sequential by the adaptive layer",
+			func(t tenantMetricsRow) int64 { return t.seqFalls })
+	}
+
+	// Latency.
+	s.met.jobLatency.render(&b, "spiced_job_duration_seconds")
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}
+
+// handleVars serves an expvar-style JSON snapshot: cmdline and memstats
+// (the two vars the expvar package always publishes) plus the spiced
+// serving state. It is assembled per server rather than through
+// expvar.Publish so that multiple Server instances (tests, embedding)
+// never fight over the process-global expvar namespace.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rows := s.snapshotTenants()
+	tenants := make(map[string]any, len(rows))
+	for _, t := range rows {
+		tenants[t.name] = map[string]any{
+			"budget": t.budget, "score": t.score, "starved": t.starved,
+			"inflight": t.inflight, "invocations": t.invocations, "iters": t.iters,
+			"hits": t.hits, "misses": t.misses,
+		}
+	}
+	snap := map[string]any{
+		"cmdline":  os.Args,
+		"memstats": ms,
+		"spiced": map[string]any{
+			"queue_depth":         len(s.queue),
+			"queue_capacity":      cap(s.queue),
+			"admitted":            s.met.admitted.Load(),
+			"rejected_queue_full": s.met.rejQueueFull.Load(),
+			"rejected_tenant_cap": s.met.rejTenantCap.Load(),
+			"pool_runners":        s.pool.Runners(),
+			"pool_workers":        s.pool.Workers(),
+			"tenants":             tenants,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,619 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spice/internal/workloads/native"
+)
+
+// testConfig is a small, fast baseline the tests override per scenario.
+func testConfig() Config {
+	return Config{
+		MaxWidth:    4,
+		Workers:     4,
+		QueueDepth:  64,
+		TenantCap:   32,
+		Dispatchers: 2,
+		Rebalance:   time.Hour, // tests drive rebalance() by hand
+		JobTimeout:  30 * time.Second,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// do runs one request through the server's handler.
+func do(h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body != nil {
+		b, _ := json.Marshal(body)
+		r = httptest.NewRequest(method, path, strings.NewReader(string(b)))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+// seqSum is the oracle: a plain traversal of the same deterministic
+// structure the server builds for (kernel, size, seed).
+func seqSum(kernel string, size, seed int64) int64 {
+	inst := native.ByName(kernel).New(size, seed, 0)
+	var sum int64
+	for n := inst.Head; n != nil; n = n.Next {
+		sum += n.W
+	}
+	return sum
+}
+
+// waitFor polls until cond holds (the dispatcher hand-off is
+// asynchronous even when execution is gated).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRunSyncMatchesSequentialOracle(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	h := s.Handler()
+	w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t1", Kernel: "sumlist", Size: 5000, Seed: 7})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	res := decode[JobResult](t, w)
+	if want := seqSum("sumlist", 5000, 7); res.Result != want {
+		t.Fatalf("result %d, sequential oracle %d", res.Result, want)
+	}
+	if res.Budget < 1 || res.Invocations != 1 || res.Iters == 0 {
+		t.Fatalf("implausible result row: %+v", res)
+	}
+}
+
+func TestRunChurnedMultiInvocation(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	h := s.Handler()
+	// Churned jobs traverse a mutating structure; correctness is checked
+	// by the workloads package's own oracle tests, here we check the job
+	// accounting: every invocation executed, iterations counted.
+	w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t1", Kernel: "drift", Size: 3000, Churn: 16, Invocations: 10})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	res := decode[JobResult](t, w)
+	if res.Invocations != 10 {
+		t.Fatalf("invocations %d, want 10", res.Invocations)
+	}
+	if res.Iters < 10*3000 {
+		t.Fatalf("iters %d, want at least %d", res.Iters, 10*3000)
+	}
+}
+
+func TestRunBatchedImmutableJob(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	h := s.Handler()
+	// churn=0 + several invocations rides Session.RunBatch; the batch's
+	// final accumulator must still equal the sequential sum.
+	w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t1", Kernel: "sumlist", Size: 4000, Seed: 3, Invocations: 8})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	res := decode[JobResult](t, w)
+	if want := seqSum("sumlist", 4000, 3); res.Result != want {
+		t.Fatalf("result %d, oracle %d", res.Result, want)
+	}
+	if res.Invocations != 8 {
+		t.Fatalf("invocations %d, want 8", res.Invocations)
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	h := s.Handler()
+	for _, tc := range []struct {
+		name string
+		req  JobRequest
+	}{
+		{"missing tenant", JobRequest{Kernel: "sumlist"}},
+		{"bad tenant chars", JobRequest{Tenant: "a b", Kernel: "sumlist"}},
+		{"unknown kernel", JobRequest{Tenant: "t", Kernel: "nope"}},
+		{"oversize", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 1 << 40}},
+		{"negative churn", JobRequest{Tenant: "t", Kernel: "sumlist", Churn: -1}},
+		{"too many invocations", JobRequest{Tenant: "t", Kernel: "sumlist", Invocations: 1 << 40}},
+	} {
+		if w := do(h, "POST", "/v1/run", tc.req); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, w.Code, w.Body.String())
+		}
+	}
+	if w := do(h, "POST", "/v1/run", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("empty body: status %d, want 400", w.Code)
+	}
+}
+
+func TestKernelsEndpoint(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	w := do(s.Handler(), "GET", "/v1/kernels", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	ks := decode[[]KernelInfo](t, w)
+	names := make(map[string]bool)
+	for _, k := range ks {
+		names[k.Name] = true
+	}
+	for _, want := range []string{"sumlist", "drift", "shuffle", "hostile"} {
+		if !names[want] {
+			t.Fatalf("kernel %q missing from %v", want, ks)
+		}
+	}
+}
+
+// TestQueueFullSheds429 is the bounded-queue contract: with the
+// dispatcher gated and the queue at capacity, admission answers 429
+// with a Retry-After hint instead of buffering without bound.
+func TestQueueFullSheds429(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 2
+	cfg.Dispatchers = 1
+	cfg.testGate = make(chan struct{})
+	s := newTestServer(t, cfg)
+	defer close(cfg.testGate)
+	h := s.Handler()
+
+	submit := func() *httptest.ResponseRecorder {
+		return do(h, "POST", "/v1/submit", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 100})
+	}
+	// First job: admitted and picked up by the (gated) dispatcher.
+	if w := submit(); w.Code != http.StatusAccepted {
+		t.Fatalf("job 1: status %d", w.Code)
+	}
+	waitFor(t, "dispatcher pickup", func() bool { return len(s.queue) == 0 })
+	// Two more fill the queue.
+	for i := 2; i <= 3; i++ {
+		if w := submit(); w.Code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d (%s)", i, w.Code, w.Body.String())
+		}
+	}
+	// The queue is full: the next admission must shed.
+	w := submit()
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload: status %d, want 429 (%s)", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After")
+	}
+	if got := s.met.rejQueueFull.Load(); got != 1 {
+		t.Fatalf("rejQueueFull %d, want 1", got)
+	}
+	// Sync requests shed identically.
+	if w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 100}); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("sync overload: status %d, want 429", w.Code)
+	}
+}
+
+// TestTenantCap verifies per-tenant concurrency isolation: one tenant
+// at its cap is rejected while another tenant is still admitted. Run
+// under -race this also exercises the admission accounting.
+func TestTenantCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.TenantCap = 2
+	cfg.Dispatchers = 1
+	cfg.testGate = make(chan struct{})
+	s := newTestServer(t, cfg)
+	defer close(cfg.testGate)
+	h := s.Handler()
+
+	submit := func(tenant string) *httptest.ResponseRecorder {
+		return do(h, "POST", "/v1/submit", JobRequest{Tenant: tenant, Kernel: "sumlist", Size: 100})
+	}
+	for i := 0; i < 2; i++ {
+		if w := submit("capped"); w.Code != http.StatusAccepted {
+			t.Fatalf("capped job %d: status %d", i, w.Code)
+		}
+	}
+	w := submit("capped")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over cap: status %d, want 429 (%s)", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After")
+	}
+	if got := s.met.rejTenantCap.Load(); got != 1 {
+		t.Fatalf("rejTenantCap %d, want 1", got)
+	}
+	// A different tenant is unaffected by the first tenant's cap.
+	if w := submit("other"); w.Code != http.StatusAccepted {
+		t.Fatalf("other tenant: status %d, want 202", w.Code)
+	}
+}
+
+// TestTenantCapConcurrent hammers one capped tenant from many
+// goroutines; the data-race detector covers the admission path and the
+// invariant is exact accounting: accepted + capped == total, and after
+// the jobs finish the tenant's inflight count returns to zero.
+func TestTenantCapConcurrent(t *testing.T) {
+	cfg := testConfig()
+	cfg.TenantCap = 4
+	cfg.Dispatchers = 4
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := do(h, "POST", "/v1/run", JobRequest{Tenant: "hammer", Kernel: "sumlist", Size: 20_000, Invocations: 4})
+			codes[i] = w.Code
+		}(i)
+	}
+	wg.Wait()
+	var ok, capped int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			capped++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok+capped != clients || ok == 0 {
+		t.Fatalf("ok=%d capped=%d, want them to partition %d with ok>0", ok, capped, clients)
+	}
+	tn, _ := s.tenantFor("hammer")
+	tn.mu.Lock()
+	inflight := tn.inflight
+	tn.mu.Unlock()
+	if inflight != 0 {
+		t.Fatalf("inflight %d after all jobs finished, want 0", inflight)
+	}
+}
+
+// TestDrain is the graceful-shutdown contract: draining finishes
+// admitted jobs, rejects new ones with 503, flips /healthz, and leaves
+// the async results fetchable.
+func TestDrain(t *testing.T) {
+	cfg := testConfig()
+	cfg.Dispatchers = 1
+	cfg.testGate = make(chan struct{})
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	w := do(h, "POST", "/v1/submit", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 2000, Seed: 5})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", w.Code)
+	}
+	id := decode[JobStatus](t, w).ID
+	waitFor(t, "dispatcher pickup", func() bool { return len(s.queue) == 0 })
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(context.Background()) }()
+	waitFor(t, "draining flag", func() bool {
+		return do(h, "GET", "/healthz", nil).Code == http.StatusServiceUnavailable
+	})
+
+	// New work is rejected while draining.
+	if w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t", Kernel: "sumlist"}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("run while draining: status %d, want 503", w.Code)
+	}
+
+	// Release the in-flight job; drain must now complete.
+	close(cfg.testGate)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// The admitted job ran to completion and its result is intact.
+	w = do(h, "GET", "/v1/jobs/"+id, nil)
+	st := decode[JobStatus](t, w)
+	if st.State != "done" || st.Result == nil || st.Error != "" {
+		t.Fatalf("drained job status: %+v", st)
+	}
+	if want := seqSum("sumlist", 2000, 5); st.Result.Result != want {
+		t.Fatalf("drained job result %d, oracle %d", st.Result.Result, want)
+	}
+
+	// A second Drain reports the server was already draining.
+	if err := s.Drain(context.Background()); err != ErrDraining {
+		t.Fatalf("second Drain: %v, want ErrDraining", err)
+	}
+}
+
+// TestBudgetAllocatorDifferential is the allocator's core promise: a
+// tenant whose loops predict well ends with at least the width of a
+// tenant that misspeculates chronically — and the misspeculator is
+// starved toward sequential execution.
+func TestBudgetAllocatorDifferential(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxWidth = 4
+	cfg.MinSample = 4
+	cfg.ProbeWindows = 10 // no full-width probe inside the test horizon
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	runJobs := func(tenant, kernel string, churn int) {
+		w := do(h, "POST", "/v1/run", JobRequest{
+			Tenant: tenant, Kernel: kernel, Size: 4000, Churn: churn, Invocations: 20,
+		})
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s job: status %d (%s)", tenant, w.Code, w.Body.String())
+		}
+	}
+	// Several allocator windows of opposite evidence: "good" runs the
+	// high-predictability value-churn kernel, "bad" replaces its whole
+	// structure every invocation (churn = size), so its predictions never
+	// survive to dispatch.
+	for window := 0; window < 5; window++ {
+		runJobs("good", "sumlist", 8)
+		runJobs("bad", "hostile", 4000)
+		s.rebalance()
+	}
+
+	good, _ := s.tenantFor("good")
+	bad, _ := s.tenantFor("bad")
+	gb, bb := good.budget.Load(), bad.budget.Load()
+	if gb < bb {
+		t.Fatalf("good tenant budget %d < bad tenant budget %d", gb, bb)
+	}
+	if gb < 3 {
+		t.Fatalf("well-predicting tenant budget %d, want near MaxWidth %d", gb, cfg.MaxWidth)
+	}
+	if bb > 2 {
+		t.Fatalf("misspeculating tenant budget %d, want starved to <= 2", bb)
+	}
+	bad.mu.Lock()
+	starved := bad.starved
+	bad.mu.Unlock()
+	if !starved {
+		t.Fatalf("misspeculating tenant not marked starved")
+	}
+}
+
+// TestStarvedTenantProbesBack verifies recovery: a starved tenant that
+// starts predicting well again earns its width back through the
+// periodic width-2 probes.
+func TestStarvedTenantProbesBack(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxWidth = 4
+	cfg.MinSample = 4
+	cfg.ProbeWindows = 2
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	run := func(kernel string, churn int) {
+		w := do(h, "POST", "/v1/run", JobRequest{
+			Tenant: "flip", Kernel: kernel, Size: 4000, Churn: churn, Invocations: 20,
+		})
+		if w.Code != http.StatusOK {
+			t.Fatalf("job: status %d (%s)", w.Code, w.Body.String())
+		}
+	}
+	for window := 0; window < 4; window++ {
+		run("hostile", 64)
+		s.rebalance()
+	}
+	tn, _ := s.tenantFor("flip")
+	if b := tn.budget.Load(); b > 2 {
+		t.Fatalf("hostile phase budget %d, want starved", b)
+	}
+	// Reform: the same tenant now predicts well. Probe windows readmit
+	// its evidence, and the score EWMA climbs back over StarveScore.
+	for window := 0; window < 12 && tn.budget.Load() < 3; window++ {
+		run("sumlist", 0)
+		s.rebalance()
+	}
+	if b := tn.budget.Load(); b < 3 {
+		t.Fatalf("reformed tenant budget %d, want recovery above 2", b)
+	}
+}
+
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?[0-9.eE+-]+|[-+]?Inf)$`)
+
+// TestMetricsParseable drives traffic from two tenants and then checks
+// /metrics renders well-formed exposition text with the per-tenant
+// serving series present.
+func TestMetricsParseable(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinSample = 4
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	for i := 0; i < 2; i++ {
+		if w := do(h, "POST", "/v1/run", JobRequest{Tenant: "good", Kernel: "sumlist", Size: 2000, Invocations: 5}); w.Code != http.StatusOK {
+			t.Fatalf("good job: %d", w.Code)
+		}
+		if w := do(h, "POST", "/v1/run", JobRequest{Tenant: "bad", Kernel: "hostile", Size: 2000, Churn: 64, Invocations: 5}); w.Code != http.StatusOK {
+			t.Fatalf("bad job: %d", w.Code)
+		}
+	}
+	s.rebalance()
+
+	w := do(h, "GET", "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(w.Body.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		seen[name] = true
+		// The value must parse as a float.
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("metric line %q: bad value: %v", line, err)
+		}
+	}
+	for _, want := range []string{
+		"spiced_queue_depth", "spiced_jobs_admitted_total", "spiced_jobs_rejected_total",
+		"spiced_pool_invocations_total", "spiced_tenant_budget", "spiced_tenant_score",
+		"spiced_tenant_spec_hits_total", "spiced_tenant_spec_misses_total",
+		"spiced_job_duration_seconds_bucket", "spiced_job_duration_seconds_count",
+	} {
+		if !seen[want] {
+			t.Fatalf("metric %q missing; have %v", want, seen)
+		}
+	}
+	// The two tenants' budget series must both be present.
+	body := w.Body.String()
+	for _, want := range []string{`spiced_tenant_budget{tenant="good"}`, `spiced_tenant_budget{tenant="bad"}`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("series %q missing from /metrics", want)
+		}
+	}
+}
+
+func TestDebugVarsAndHealthz(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	h := s.Handler()
+	if w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 500}); w.Code != http.StatusOK {
+		t.Fatalf("job: %d", w.Code)
+	}
+	w := do(h, "GET", "/debug/vars", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("vars status %d", w.Code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("vars not JSON: %v", err)
+	}
+	for _, key := range []string{"cmdline", "memstats", "spiced"} {
+		if _, ok := snap[key]; !ok {
+			t.Fatalf("vars missing %q", key)
+		}
+	}
+	if w := do(h, "GET", "/healthz", nil); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestAsyncLifecycle(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	h := s.Handler()
+	w := do(h, "POST", "/v1/submit", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 2000, Seed: 9})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d", w.Code)
+	}
+	id := decode[JobStatus](t, w).ID
+	var st JobStatus
+	waitFor(t, "async completion", func() bool {
+		st = decode[JobStatus](t, do(h, "GET", "/v1/jobs/"+id, nil))
+		return st.State == "done"
+	})
+	if st.Result == nil || st.Result.Result != seqSum("sumlist", 2000, 9) {
+		t.Fatalf("async result: %+v", st)
+	}
+	// The finished result was delivered once; the slot is freed.
+	if w := do(h, "GET", "/v1/jobs/"+id, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("re-fetch: status %d, want 404", w.Code)
+	}
+	if w := do(h, "GET", "/v1/jobs/nope", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", w.Code)
+	}
+}
+
+func TestAsyncCapSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.AsyncCap = 1
+	cfg.Dispatchers = 1
+	cfg.testGate = make(chan struct{})
+	s := newTestServer(t, cfg)
+	defer close(cfg.testGate)
+	h := s.Handler()
+	if w := do(h, "POST", "/v1/submit", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 100}); w.Code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d", w.Code)
+	}
+	w := do(h, "POST", "/v1/submit", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 100})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit over async cap: %d, want 429", w.Code)
+	}
+	if got := s.met.rejAsyncFull.Load(); got != 1 {
+		t.Fatalf("rejAsyncFull %d, want 1", got)
+	}
+}
+
+func TestTenantTableBound(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxTenants = 2
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if w := do(h, "POST", "/v1/run", JobRequest{Tenant: name, Kernel: "sumlist", Size: 100}); w.Code != http.StatusOK {
+			t.Fatalf("tenant %s: %d", name, w.Code)
+		}
+	}
+	if w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t2", Kernel: "sumlist", Size: 100}); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("tenant over table bound: %d, want 429", w.Code)
+	}
+}
+
+func TestInstanceLRUEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInstances = 2
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+	for _, seed := range []int64{1, 2, 3, 1} {
+		w := do(h, "POST", "/v1/run", JobRequest{Tenant: "t", Kernel: "sumlist", Size: 500, Seed: seed})
+		if w.Code != http.StatusOK {
+			t.Fatalf("seed %d: %d (%s)", seed, w.Code, w.Body.String())
+		}
+		res := decode[JobResult](t, w)
+		if want := seqSum("sumlist", 500, seed); res.Result != want {
+			t.Fatalf("seed %d: result %d, oracle %d", seed, res.Result, want)
+		}
+	}
+	tn, _ := s.tenantFor("t")
+	tn.mu.Lock()
+	n := len(tn.insts)
+	tn.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("instance table %d entries, want <= MaxInstances 2", n)
+	}
+}

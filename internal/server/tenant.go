@@ -1,0 +1,332 @@
+package server
+
+// Per-tenant serving state and the speculation-budget allocator.
+//
+// Garmon et al. (PAPERS.md) frame speculation as a resource-allocation
+// problem: when many clients share a speculative runtime, width should
+// flow to the tenants whose loops are predicting well. spiced makes
+// that concrete: every tenant's jobs run through width-budgeted pool
+// sessions (Pool.SessionWidth), the tenant's speculative hit/miss
+// deltas (Stats.Delta over its sessions) feed a smoothed score, and a
+// periodic rebalance re-divides the executor's speculative capacity
+// across the active tenants in proportion to their scores — starving
+// chronically misspeculating tenants down to width 1 (pure sequential
+// execution, zero speculative chunks), with periodic full-width probes
+// so a reformed tenant can earn its budget back.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spice"
+	"spice/internal/workloads/native"
+)
+
+// tenant is one tenant's serving state.
+type tenant struct {
+	name string
+
+	// budget is the current speculation width, written by the allocator
+	// and read (without the tenant lock) by the execution path.
+	budget atomic.Int64
+
+	mu       sync.Mutex
+	inflight int // admitted jobs not yet finished
+	// insts holds the tenant's structure instances keyed by
+	// (kernel,size,seed,churn), with LRU eviction at cfg.MaxInstances.
+	insts map[string]*instance
+	lru   []string // oldest first
+
+	// agg accumulates the tenant's lifetime Stats counters (for
+	// /metrics); win accumulates the current allocator window's deltas.
+	agg     spice.Stats
+	win     spice.Stats
+	winJobs int64
+
+	// score is the EWMA of the tenant's speculative hit rate, updated
+	// once per allocator window that carries enough evidence. New
+	// tenants start optimistic so they get width to prove themselves.
+	score float64
+	// starved marks tenants the allocator pinned to sequential
+	// execution; starvedWindows counts active windows since, pacing the
+	// width-2 probes.
+	starved        bool
+	starvedWindows int
+}
+
+// instance is one mutable workload structure plus the session pinned to
+// it. instance.mu serializes jobs against the structure (a traversal
+// must never overlap the between-invocation churn) and is strictly
+// ordered before tenant.mu: an execution path holding instance.mu may
+// take tenant.mu (record), never the reverse.
+type instance struct {
+	mu    sync.Mutex
+	key   string
+	inst  *native.Instance
+	sess  *spice.Session[*native.Node, int64]
+	width int
+}
+
+// ensureSession (re)opens the instance's session at the given width.
+// Reopening resets the runner's predictions — a budget change pays one
+// bootstrap invocation — so it only happens when the width actually
+// changed.
+func (i *instance) ensureSession(s *Server, width int) *apiError {
+	if i.sess != nil && i.width == width {
+		return nil
+	}
+	if i.sess != nil {
+		i.sess.Close()
+		i.sess = nil
+	}
+	sess, err := s.pool.SessionWidth(width)
+	if err != nil {
+		return &apiError{code: 503, msg: "pool closed: " + err.Error()}
+	}
+	i.sess = sess
+	i.width = width
+	return nil
+}
+
+// closeSession releases the session (used by eviction and drain).
+func (i *instance) closeSession() {
+	if i.sess != nil {
+		i.sess.Close()
+		i.sess = nil
+	}
+}
+
+// tenantFor returns (creating on first sight) the named tenant. It
+// enforces the MaxTenants bound: a serving daemon must not let an open
+// tenant namespace grow its state without limit.
+func (s *Server) tenantFor(name string) (*tenant, *apiError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t, nil
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, &apiError{code: 429, msg: "tenant table full", retryAfter: 5}
+	}
+	t := &tenant{name: name, insts: make(map[string]*instance), score: s.cfg.initialScore()}
+	t.budget.Store(int64(s.initialBudget()))
+	s.tenants[name] = t
+	return t, nil
+}
+
+// initialBudget is a fresh tenant's width before any evidence: the
+// configured ceiling, optimistically — misspeculators are demoted by
+// the first windows of evidence.
+func (s *Server) initialBudget() int {
+	return s.cfg.MaxWidth
+}
+
+// instanceFor returns (creating, with LRU eviction) the tenant's
+// structure instance for the request. Building a large list is done
+// under the tenant lock: it only blocks this tenant's own jobs.
+func (t *tenant) instanceFor(s *Server, req *JobRequest) *instance {
+	key := req.instanceKey()
+	var evicted *instance
+	t.mu.Lock()
+	inst, ok := t.insts[key]
+	if ok {
+		// Refresh LRU position.
+		for i, k := range t.lru {
+			if k == key {
+				t.lru = append(append(t.lru[:i:i], t.lru[i+1:]...), key)
+				break
+			}
+		}
+	} else {
+		if len(t.insts) >= s.cfg.MaxInstances && len(t.lru) > 0 {
+			victim := t.lru[0]
+			t.lru = t.lru[1:]
+			evicted = t.insts[victim]
+			delete(t.insts, victim)
+		}
+		k := native.ByName(req.Kernel)
+		inst = &instance{
+			key:  key,
+			inst: k.New(req.Size, req.Seed, req.Churn),
+		}
+		t.insts[key] = inst
+		t.lru = append(t.lru, key)
+	}
+	t.mu.Unlock()
+	if evicted != nil {
+		// Outside t.mu (lock order: instance.mu before tenant.mu). A job
+		// still executing on the evicted instance finishes first; the
+		// session is closed once its lock is free.
+		evicted.mu.Lock()
+		evicted.closeSession()
+		evicted.mu.Unlock()
+	}
+	return inst
+}
+
+// record folds one job's Stats delta into the tenant's lifetime and
+// window accumulators.
+func (t *tenant) record(d spice.Stats) {
+	t.mu.Lock()
+	t.agg = t.agg.Plus(d)
+	t.win = t.win.Plus(d)
+	t.winJobs++
+	t.mu.Unlock()
+}
+
+// rebalance is one allocator window: harvest every tenant's windowed
+// hit/miss evidence, update scores, and re-divide the executor's
+// speculative capacity proportional to score.
+func (s *Server) rebalance() {
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+
+	type row struct {
+		t      *tenant
+		active bool
+		score  float64
+		probe  bool
+	}
+	rows := make([]row, 0, len(tenants))
+	for _, t := range tenants {
+		t.mu.Lock()
+		win, jobs, inflight := t.win, t.winJobs, t.inflight
+		t.win, t.winJobs = spice.Stats{}, 0
+		evidence := win.Hits + win.Misses
+		if evidence >= s.cfg.MinSample {
+			// Squash-weighted hit rate: the raw hit fraction scaled by the
+			// committed share of the window's work. Membership validation
+			// deliberately tolerates reordering, so even a hostile tenant
+			// commits over half its chunks — but every miss also squashes a
+			// chunk's worth of iterations, and the efficiency factor is what
+			// separates "predicts well" (≈1) from "burns the executor"
+			// (≈0.4) decisively.
+			hr := float64(win.Hits) / float64(evidence)
+			eff := 1.0
+			if done := win.TotalIters + win.SquashedIters; done > 0 {
+				eff = float64(win.TotalIters) / float64(done)
+			}
+			r := hr * eff
+			t.score = scoreAlpha*r + (1-scoreAlpha)*t.score
+		} else if jobs > 0 && !t.starved {
+			// Active but evidence-free: the tenant's predictions never
+			// survived to dispatch (node-replacement churn kills membership
+			// validation outright), so width buys it nothing. Decay the
+			// score toward starvation instead of freezing it — an
+			// evidence-free tenant must not hold width on stale credit.
+			t.score *= noEvidenceDecay
+		}
+		active := jobs > 0 || inflight > 0
+		probe := false
+		if t.starved && active {
+			t.starvedWindows++
+			// A starved tenant runs sequentially and generates no
+			// hit/miss evidence, so it could never recover; every
+			// ProbeWindows active windows it briefly gets the full width
+			// back so its loops testify at the width the allocator is
+			// actually pricing (narrow probes flatter hostile loops: with
+			// one chunk boundary, membership validation commits almost
+			// anything).
+			probe = t.starvedWindows%s.cfg.ProbeWindows == 0
+		}
+		rows = append(rows, row{t: t, active: active, score: t.score, probe: probe})
+		t.mu.Unlock()
+	}
+
+	// Divide the speculative capacity (the shared executor's workers:
+	// each width-w invocation occupies up to w-1 of them) across the
+	// active, non-starved tenants in proportion to score.
+	specCap := float64(s.pool.Workers())
+	var sum float64
+	for _, r := range rows {
+		if r.active && r.score >= s.cfg.StarveScore {
+			sum += r.score
+		}
+	}
+	for _, r := range rows {
+		t := r.t
+		if !r.active {
+			continue // idle tenants keep their budget; no capacity charged
+		}
+		switch {
+		case r.score < s.cfg.StarveScore:
+			t.mu.Lock()
+			if !t.starved {
+				t.starved = true
+				t.starvedWindows = 0
+			}
+			t.mu.Unlock()
+			if r.probe {
+				t.budget.Store(int64(s.cfg.MaxWidth))
+			} else {
+				t.budget.Store(1)
+			}
+		default:
+			t.mu.Lock()
+			t.starved = false
+			t.starvedWindows = 0
+			t.mu.Unlock()
+			w := 1 + int(specCap*r.score/sum+0.5)
+			if w < 2 {
+				// A trusted tenant always gets at least one speculative
+				// chunk, else it could never produce evidence again.
+				w = 2
+			}
+			if w > s.cfg.MaxWidth {
+				w = s.cfg.MaxWidth
+			}
+			t.budget.Store(int64(w))
+		}
+	}
+}
+
+// scoreAlpha is the EWMA weight of one window's squash-weighted hit
+// rate; noEvidenceDecay shrinks the score of a tenant whose active
+// window produced no speculative evidence at all.
+const (
+	scoreAlpha      = 0.5
+	noEvidenceDecay = 0.7
+)
+
+// snapshotTenants captures every tenant's scrape row (metrics.go).
+func (s *Server) snapshotTenants() []tenantMetricsRow {
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	rows := make([]tenantMetricsRow, 0, len(tenants))
+	for _, t := range tenants {
+		t.mu.Lock()
+		rows = append(rows, tenantMetricsRow{
+			name:        t.name,
+			budget:      t.budget.Load(),
+			score:       t.score,
+			inflight:    int64(t.inflight),
+			invocations: t.agg.Invocations,
+			iters:       t.agg.TotalIters,
+			hits:        t.agg.Hits,
+			misses:      t.agg.Misses,
+			misspecInv:  t.agg.MisspecInvocations,
+			sheds:       t.agg.BatchSheds,
+			seqFalls:    t.agg.SequentialFallbacks,
+			starved:     t.starved,
+		})
+		t.mu.Unlock()
+	}
+	sortTenantRows(rows)
+	return rows
+}
+
+func sortTenantRows(rows []tenantMetricsRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j-1].name > rows[j].name; j-- {
+			rows[j-1], rows[j] = rows[j], rows[j-1]
+		}
+	}
+}

@@ -42,8 +42,13 @@ type Pool[S comparable, A any] struct {
 	cfg  Config // with Executor set to the pool's executor
 	exec *Executor
 
-	mu     sync.Mutex
-	idle   []*Runner[S, A]
+	mu sync.Mutex
+	// idle holds the recycled runners, keyed by their dispatch width:
+	// besides the default cfg.Threads runners serving Run/RunBatch/
+	// Submit, SessionWidth mints width-budgeted runners (a serving
+	// layer's per-tenant speculation budgets), and a runner must only
+	// ever be recycled to a caller asking for its width.
+	idle   map[int][]*Runner[S, A]
 	all    []*Runner[S, A]
 	last   *Runner[S, A] // most recently released runner (for LastWorks)
 	closed atomic.Bool   // atomic so Session.Run checks it without p.mu
@@ -84,7 +89,12 @@ func NewPool[S comparable, A any](loop Loop[S, A], cfg PoolConfig) (*Pool[S, A],
 			workers = 1
 		}
 	}
-	p := &Pool[S, A]{loop: loop, cfg: cfg.Config, exec: NewExecutor(workers)}
+	p := &Pool[S, A]{
+		loop: loop,
+		cfg:  cfg.Config,
+		exec: NewExecutor(workers),
+		idle: make(map[int][]*Runner[S, A]),
+	}
 	p.cfg.Executor = p.exec
 	return p, nil
 }
@@ -232,7 +242,7 @@ func (p *Pool[S, A]) Submit(ctx context.Context, start S) *Future[A] {
 		acc, err := r.run(ctx, start, true)
 		after := r.stats.snapshot()
 		p.release(r)
-		f.resolve(acc, err, statsDelta(after, before))
+		f.resolve(acc, err, after.Delta(before))
 	}()
 	return f
 }
@@ -241,16 +251,7 @@ func (p *Pool[S, A]) Submit(ctx context.Context, start S) *Future[A] {
 // the closed check so Close's drain cannot miss a just-accepted
 // submission.
 func (p *Pool[S, A]) acquireInflight() (*Runner[S, A], error) {
-	return p.acquireRunner(true)
-}
-
-// statsDelta returns the counters one invocation contributed: after
-// minus before, with the gauge-like fields (LastWorks,
-// EffectiveThreads) taken from after.
-func statsDelta(after, before Stats) Stats {
-	d := after
-	d.subCounters(before)
-	return d
+	return p.acquireRunner(p.cfg.Threads, true)
 }
 
 // isClosed reports whether Close has been called. Lock-free: it sits on
@@ -272,12 +273,42 @@ type Session[S comparable, A any] struct {
 // Session opens a session backed by the pool's shared workers. It
 // returns ErrPoolClosed after Close.
 func (p *Pool[S, A]) Session() (*Session[S, A], error) {
-	r, err := p.acquire()
+	return p.SessionWidth(p.cfg.Threads)
+}
+
+// SessionWidth opens a session whose invocations dispatch at most width
+// concurrent chunks, regardless of the pool's configured Threads. It is
+// the speculation-budget primitive for multi-tenant callers: a serving
+// layer opens each tenant's session at the width that tenant has earned
+// (down to 1 — pure sequential execution, no speculative chunks at all)
+// while every session still shares the pool's workers, so a narrow
+// tenant cannot occupy executor capacity its budget does not cover.
+//
+// width is clamped to [1, cfg.Threads]: the pool's scheduler buffers and
+// worker sizing are provisioned for cfg.Threads, so a budget can only
+// narrow an invocation, never widen it past the pool. Runners are
+// recycled per width; SessionWidth returns ErrPoolClosed after Close.
+func (p *Pool[S, A]) SessionWidth(width int) (*Session[S, A], error) {
+	if width < 1 {
+		width = 1
+	}
+	if width > p.cfg.Threads {
+		width = p.cfg.Threads
+	}
+	r, err := p.acquireRunner(width, false)
 	if err != nil {
 		return nil, err
 	}
 	r.reset()
 	return &Session[S, A]{p: p, r: r}, nil
+}
+
+// Width reports the session's dispatch width (0 after Close).
+func (s *Session[S, A]) Width() int {
+	if s.r == nil {
+		return 0
+	}
+	return s.r.cfg.Threads
 }
 
 // Run executes one invocation through the session's private runner,
@@ -298,6 +329,30 @@ func (s *Session[S, A]) Run(ctx context.Context, start S) (A, error) {
 // panicking on error.
 func (s *Session[S, A]) MustRun(start S) A {
 	return mustRun(s.Run(context.Background(), start))
+}
+
+// RunBatch executes one invocation per start through the session's
+// private runner, in order, with Pool.RunBatch's exact per-item contract:
+// shed-aware execution, completed-prefix results, and the first failing
+// item's error wrapped with its index. The batch amortizes the session's
+// warm predictor across the items just as Pool.RunBatch amortizes runner
+// acquisition — but against the session's pinned structure, so a serving
+// layer can batch a tenant's repeated invocations without its predictions
+// ever crossing tenants. The structure must not be mutated while the
+// batch is in flight.
+func (s *Session[S, A]) RunBatch(ctx context.Context, starts []S) ([]A, error) {
+	if s.r == nil || s.p.isClosed() {
+		return nil, ErrPoolClosed
+	}
+	out := make([]A, 0, len(starts))
+	for i, start := range starts {
+		acc, err := s.r.run(ctx, start, true)
+		if err != nil {
+			return out, fmt.Errorf("spice: batch item %d: %w", i, err)
+		}
+		out = append(out, acc)
+	}
+	return out, nil
 }
 
 // Stats returns the session runner's counters (zero after Close).
@@ -322,17 +377,17 @@ func (s *Session[S, A]) Close() {
 	s.r = nil
 }
 
-// acquire pops an idle runner or creates one; it returns ErrPoolClosed
-// after Close.
+// acquire pops an idle default-width runner or creates one; it returns
+// ErrPoolClosed after Close.
 func (p *Pool[S, A]) acquire() (*Runner[S, A], error) {
-	return p.acquireRunner(false)
+	return p.acquireRunner(p.cfg.Threads, false)
 }
 
-// acquireRunner pops an idle runner or creates one; it returns
-// ErrPoolClosed after Close. With registerInflight, the runner is also
-// registered for Close's drain, under the same mutex hold as the
-// closed check — once acquireRunner accepts, Close waits.
-func (p *Pool[S, A]) acquireRunner(registerInflight bool) (*Runner[S, A], error) {
+// acquireRunner pops an idle runner of the requested width or creates
+// one; it returns ErrPoolClosed after Close. With registerInflight, the
+// runner is also registered for Close's drain, under the same mutex hold
+// as the closed check — once acquireRunner accepts, Close waits.
+func (p *Pool[S, A]) acquireRunner(width int, registerInflight bool) (*Runner[S, A], error) {
 	p.mu.Lock()
 	if p.closed.Load() {
 		p.mu.Unlock()
@@ -341,16 +396,18 @@ func (p *Pool[S, A]) acquireRunner(registerInflight bool) (*Runner[S, A], error)
 	if registerInflight {
 		p.inflight.Add(1)
 	}
-	if n := len(p.idle); n > 0 {
-		r := p.idle[n-1]
-		p.idle = p.idle[:n-1]
+	if free := p.idle[width]; len(free) > 0 {
+		r := free[len(free)-1]
+		p.idle[width] = free[:len(free)-1]
 		p.mu.Unlock()
 		return r, nil
 	}
 	p.mu.Unlock()
+	cfg := p.cfg
+	cfg.Threads = width
 	// NewRunner cannot fail here: the loop and config were validated by
-	// NewPool.
-	r, err := NewRunner(p.loop, p.cfg)
+	// NewPool, and width is clamped to [1, cfg.Threads] by the callers.
+	r, err := NewRunner(p.loop, cfg)
 	if err != nil {
 		if registerInflight {
 			p.inflight.Done()
@@ -363,10 +420,10 @@ func (p *Pool[S, A]) acquireRunner(registerInflight bool) (*Runner[S, A], error)
 	return r, nil
 }
 
-// release returns a runner to the free list.
+// release returns a runner to its width's free list.
 func (p *Pool[S, A]) release(r *Runner[S, A]) {
 	p.mu.Lock()
-	p.idle = append(p.idle, r)
+	p.idle[r.cfg.Threads] = append(p.idle[r.cfg.Threads], r)
 	p.last = r
 	p.mu.Unlock()
 }

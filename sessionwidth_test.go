@@ -1,0 +1,228 @@
+package spice
+
+// Tests for the width-budgeted session surface added for multi-tenant
+// serving: Pool.SessionWidth (per-width runner recycling), Session.Width,
+// Session.RunBatch, and the Stats.Delta/Plus snapshot arithmetic the
+// serving layer's per-tenant accounting is built on.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSessionWidthClampsAndRuns(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	l := newTestList(2000, 1)
+	want := sequential(xorLoop(), l.head)
+
+	for _, tc := range []struct{ ask, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {4, 4}, {9, 4},
+	} {
+		s, err := p.SessionWidth(tc.ask)
+		if err != nil {
+			t.Fatalf("SessionWidth(%d): %v", tc.ask, err)
+		}
+		if got := s.Width(); got != tc.want {
+			t.Fatalf("SessionWidth(%d).Width() = %d, want %d", tc.ask, got, tc.want)
+		}
+		acc, err := s.Run(context.Background(), l.head)
+		if err != nil || acc != want {
+			t.Fatalf("width %d: acc %+v err %v, want %+v", tc.want, acc, err, want)
+		}
+		s.Close()
+		if s.Width() != 0 {
+			t.Fatalf("Width after Close = %d, want 0", s.Width())
+		}
+	}
+}
+
+func TestSessionWidthRecyclesPerWidth(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// A runner released at width 2 must come back for the next width-2
+	// session, not for a width-4 one: widths are budget boundaries.
+	s2, _ := p.SessionWidth(2)
+	s2.Close()
+	if got := p.Runners(); got != 1 {
+		t.Fatalf("runners after one width-2 session: %d", got)
+	}
+	s4, _ := p.SessionWidth(4)
+	if got := p.Runners(); got != 2 {
+		t.Fatalf("width-4 session must not reuse the width-2 runner: %d runners", got)
+	}
+	s2b, _ := p.SessionWidth(2)
+	if got := p.Runners(); got != 2 {
+		t.Fatalf("second width-2 session must reuse the freed width-2 runner: %d runners", got)
+	}
+	s4.Close()
+	s2b.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+}
+
+func TestSessionWidthClosedPool(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.SessionWidth(2); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("SessionWidth on closed pool: %v", err)
+	}
+}
+
+func TestSessionRunBatchMatchesSequential(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	l := newTestList(3000, 7)
+	want := sequential(xorLoop(), l.head)
+	starts := []*node{l.head, l.head, l.head, l.head, l.head}
+	accs, err := s.RunBatch(context.Background(), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != len(starts) {
+		t.Fatalf("batch returned %d results, want %d", len(accs), len(starts))
+	}
+	for i, acc := range accs {
+		if acc != want {
+			t.Fatalf("batch item %d: %+v, want %+v", i, acc, want)
+		}
+	}
+	if accs, err := s.RunBatch(context.Background(), nil); err != nil || len(accs) != 0 {
+		t.Fatalf("empty batch: %v %v", accs, err)
+	}
+}
+
+func TestSessionRunBatchErrorCarriesIndex(t *testing.T) {
+	boom := errors.New("boom")
+	loop := Loop[*node, sumAcc]{
+		Done: func(n *node) bool { return n == nil },
+		Next: func(n *node) *node { return n.next },
+		BodyErr: func(n *node, a sumAcc) (sumAcc, error) {
+			if n.weight < 0 {
+				return a, boom
+			}
+			a.sum += n.weight
+			return a, nil
+		},
+		Init:  func() sumAcc { return sumAcc{} },
+		Merge: func(a, b sumAcc) sumAcc { return sumAcc{a.sum + b.sum, a.fp ^ b.fp} },
+	}
+	p, err := NewPool(loop, PoolConfig{Config: Config{Threads: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	good := newTestList(100, 1)
+	bad := newTestList(100, 2)
+	bad.head.weight = -1
+	accs, err := s.RunBatch(context.Background(), []*node{good.head, good.head, bad.head})
+	if !errors.Is(err, boom) {
+		t.Fatalf("batch error %v, want wrapped boom", err)
+	}
+	if want := "spice: batch item 2: boom"; err.Error() != want {
+		t.Fatalf("batch error %q, want %q", err.Error(), want)
+	}
+	if len(accs) != 2 {
+		t.Fatalf("completed prefix %d items, want 2", len(accs))
+	}
+}
+
+func TestSessionRunBatchClosed(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	l := newTestList(10, 1)
+	if _, err := s.RunBatch(context.Background(), []*node{l.head}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("RunBatch on closed session: %v", err)
+	}
+	p.Close()
+}
+
+func TestStatsDeltaPlus(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	l := newTestList(2000, 3)
+	run := func(n int) Stats {
+		before := s.Stats()
+		for i := 0; i < n; i++ {
+			if _, err := s.Run(context.Background(), l.head); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Stats().Delta(before)
+	}
+	d1 := run(3)
+	d2 := run(2)
+	if d1.Invocations != 3 || d2.Invocations != 2 {
+		t.Fatalf("window invocations %d/%d, want 3/2", d1.Invocations, d2.Invocations)
+	}
+	if d1.TotalIters != 3*2000 || d2.TotalIters != 2*2000 {
+		t.Fatalf("window iters %d/%d", d1.TotalIters, d2.TotalIters)
+	}
+	// Delta keeps the minuend's gauges (they are instantaneous, not
+	// accumulable): EffectiveThreads survives subtraction.
+	if d1.EffectiveThreads == 0 {
+		t.Fatalf("Delta zeroed the EffectiveThreads gauge")
+	}
+
+	sum := d1.Plus(d2)
+	if sum.Invocations != 5 || sum.TotalIters != 5*2000 {
+		t.Fatalf("Plus: %d invocations / %d iters, want 5 / 10000", sum.Invocations, sum.TotalIters)
+	}
+	if sum.Hits != d1.Hits+d2.Hits || sum.Misses != d1.Misses+d2.Misses {
+		t.Fatalf("Plus did not add hit/miss counters")
+	}
+	// Plus keeps the receiver's gauges too.
+	if sum.EffectiveThreads != d1.EffectiveThreads {
+		t.Fatalf("Plus gauge: %d, want %d", sum.EffectiveThreads, d1.EffectiveThreads)
+	}
+	// The two windows reassemble the full session history.
+	total := s.Stats()
+	if got := total.Delta(Stats{}); got.Invocations != total.Invocations {
+		t.Fatalf("Delta from zero must be identity on counters")
+	}
+	if sum.Invocations != total.Invocations {
+		t.Fatalf("windows %d invocations, session total %d", sum.Invocations, total.Invocations)
+	}
+}

@@ -303,6 +303,30 @@ func (s *Stats) subCounters(d Stats) {
 	s.BatchSheds -= d.BatchSheds
 }
 
+// Delta returns the counters s accumulated since prev was snapshotted:
+// every additive counter is s's value minus prev's, while the gauge-like
+// fields (EffectiveThreads, LastWorks) keep s's values — a gauge has no
+// meaningful difference. It is the snapshot-diff primitive behind
+// Future.Stats, and what external aggregators (a serving layer tracking
+// per-tenant hit rates, a metrics exporter scraping windows) use instead
+// of re-implementing the field-by-field subtraction:
+//
+//	before := sess.Stats()
+//	// ... invocations ...
+//	window := sess.Stats().Delta(before)
+func (s Stats) Delta(prev Stats) Stats {
+	s.subCounters(prev)
+	return s
+}
+
+// Plus returns s with d's additive counters added in (the inverse of
+// Delta; gauge-like fields again keep s's values). Aggregators use it to
+// fold per-window deltas into running totals.
+func (s Stats) Plus(d Stats) Stats {
+	s.addCounters(d)
+	return s
+}
+
 // Imbalance returns max/mean over the last invocation's non-zero chunk
 // works (1.0 = perfectly balanced). Zero entries are idle or squashed
 // chunks, not unevenly loaded ones, so they are excluded from the mean.
