@@ -791,3 +791,77 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+// dcMix is the benchmark body's per-iteration compute: a short
+// multiply-xorshift scramble standing in for the real work a DOACROSS
+// iteration does between its loop-carried load and its store. Without
+// it the body is a bare load+add+store and the cell-view buffering
+// cost dominates both sides of the t2-vs-t1 comparison, which would
+// measure the buffer, not speculation over a realistic body.
+func dcMix(x int64) int64 {
+	v := uint64(x)*0x9e3779b97f4a7c15 + 1
+	for i := 0; i < 6; i++ {
+		v ^= v >> 29
+		v *= 0xbf58476d1ce4e5b9
+	}
+	return int64(v >> 33)
+}
+
+// dcBenchLoop mirrors dcLoop's cell and reduction semantics with
+// dcMix folded into the stored value. Correctness coverage lives with
+// dcLoop (oracle and fuzz tests); the benchmark only needs the same
+// speculative machinery over a deterministic, realistically weighted
+// body.
+func dcBenchLoop() Loop[*dcnode, int64] {
+	l := dcLoop()
+	l.SpecBody = func(n *dcnode, a int64, v *CellView) int64 {
+		x := v.Load(n.src) + dcMix(n.w)
+		v.Store(n.dst, x)
+		v.Reduce(0, n.w)
+		v.Reduce(1, n.w)
+		return a + x
+	}
+	return l
+}
+
+// BenchmarkDoacross measures the DOACROSS hot path over a 100k-node
+// list: "none" runs every iteration against a private cell (the
+// 0 allocs/op regime the pool bench gate enforces), "rare" adds one
+// cross-node flow dependence every 64 nodes — conflicts only when a
+// chunk boundary splits a pair, the regime where speculation must win
+// (t2 < t1 on multi-core hosts; the conflict-regime spread itself is
+// spicebench -doacross). Structure and membership are stable, so the
+// rows isolate the cell-view cost: buffering, read-set tracking,
+// commit-time validation and the reduction merge.
+func BenchmarkDoacross(b *testing.B) {
+	const listLen = 100_000
+	for _, regime := range []string{"none", "rare"} {
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s_t%d", regime, threads), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(17))
+				head, _, cells, _ := buildDoacross(rng, listLen, regime)
+				loop := dcBenchLoop()
+				loop.Cells = cells
+				r, err := NewRunner(loop, Config{Threads: threads})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer r.Close()
+				ctx := context.Background()
+				r.MustRun(head) // bootstrap memoization outside the timer
+				r.MustRun(head) // first parallel run sizes the cell views
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Run(ctx, head); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := r.Stats()
+				b.ReportMetric(float64(st.Conflicts)/float64(st.Invocations), "conflicts_per_inv")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/listLen, "ns_iter")
+			})
+		}
+	}
+}

@@ -153,3 +153,106 @@ func blockScanToEndErr[S comparable, A any](
 	}
 	return s, acc, k, blockFilled, nil
 }
+
+// The blockSpec* variants below are the DOACROSS (Loop.SpecBody /
+// SpecBodyErr) counterparts: the same four monomorphic scans with the
+// chunk's CellView threaded to the body. The view pointer is loop
+// invariant — buffering, forwarding, and read-set recording happen
+// inside the view's Load/Store/Reduce, so the scan structure (and the
+// panic-containment / k-charging discipline above) is unchanged.
+
+// blockSpecScanMatch is the speculative-body blockScanMatch.
+func blockSpecScanMatch[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A, *CellView) A, view *CellView,
+	s S, acc A, snapStart S, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		if s == snapStart {
+			return s, acc, k, blockMatched, nil
+		}
+		k++
+		acc = body(s, acc, view)
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}
+
+// blockSpecScanToEnd is the speculative-body blockScanToEnd.
+func blockSpecScanToEnd[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A, *CellView) A, view *CellView,
+	s S, acc A, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		k++
+		acc = body(s, acc, view)
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}
+
+// blockSpecScanMatchErr is the fallible speculative-body blockScanMatch.
+func blockSpecScanMatchErr[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A, *CellView) (A, error), view *CellView,
+	s S, acc A, snapStart S, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		if s == snapStart {
+			return s, acc, k, blockMatched, nil
+		}
+		k++
+		var e error
+		if acc, e = body(s, acc, view); e != nil {
+			return s, acc, k, blockFailed, e
+		}
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}
+
+// blockSpecScanToEndErr is the fallible speculative-body blockScanToEnd.
+func blockSpecScanToEndErr[S comparable, A any](
+	done func(S) bool, next func(S) S, body func(S, A, *CellView) (A, error), view *CellView,
+	s S, acc A, n int64,
+) (outS S, outAcc A, k int64, stop blockStop, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stop, err = blockFailed, newPanicError(v)
+		}
+	}()
+	for k < n {
+		if done(s) {
+			return s, acc, k, blockDone, nil
+		}
+		k++
+		var e error
+		if acc, e = body(s, acc, view); e != nil {
+			return s, acc, k, blockFailed, e
+		}
+		s = next(s)
+	}
+	return s, acc, k, blockFilled, nil
+}

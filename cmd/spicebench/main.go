@@ -12,13 +12,16 @@
 //	-adaptive native adaptive-speculation controller table (beyond the paper)
 //	-batch    native batched/async submission table (beyond the paper)
 //	-speedup  native per-iteration overhead and tN/t1 speedup table
+//	-doacross native DOACROSS conflict-regime table (cell store + reductions)
 //	-scaling  native t1→t16 scaling curve, one row per GOMAXPROCS setting
 //	-all      everything above in paper order
 //
 // -scaling additionally accepts -out FILE to write the curve as
 // benchjson-compatible JSON records (names ScalingCurve/gP/tT, with
 // maxprocs and cores stamped) for CI artifacts and merging into
-// BENCH_pool.json via `benchjson -merge`.
+// BENCH_pool.json via `benchjson -merge`. -doacross honors -out the
+// same way (names DoacrossRegime/KERNEL_REGIME/tT) when -scaling is
+// not also selected.
 //
 // Profiling the native hot path:
 //
@@ -63,13 +66,14 @@ func main() {
 	ad := flag.Bool("adaptive", false, "native adaptive speculation controller")
 	bt := flag.Bool("batch", false, "native batched/async submission throughput")
 	sp := flag.Bool("speedup", false, "native per-iteration overhead and tN/t1 speedup")
+	dx := flag.Bool("doacross", false, "native DOACROSS conflict-regime table")
 	sc := flag.Bool("scaling", false, "native t1→t16 scaling curve per GOMAXPROCS setting")
 	out := flag.String("out", "", "with -scaling: also write the curve as benchjson records to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl || *ad || *bt || *sp || *sc
+	any := *t1 || *t2 || *f2 || *f3 || *f5 || *f7 || *f8 || *pl || *ad || *bt || *sp || *dx || *sc
 	if !any && !*all {
 		flag.Usage()
 		os.Exit(2)
@@ -130,6 +134,15 @@ func main() {
 	}
 	if *all || *sp {
 		speedupTable()
+	}
+	if *all || *dx {
+		// -out belongs to the scaling curve when both are selected; the
+		// two record sets go to separate files in CI.
+		dxOut := *out
+		if *all || *sc {
+			dxOut = ""
+		}
+		doacrossTable(dxOut)
 	}
 	if *all || *sc {
 		scalingCurve(*out)
@@ -546,6 +559,99 @@ func speedupTable() {
 		listLen, invocations)
 	fmt.Printf(" means the parallel hot path beats sequential; GOMAXPROCS %d)\n",
 		runtime.GOMAXPROCS(0))
+}
+
+// doacrossTable measures the native DOACROSS kernels across their
+// conflict regimes (beyond the paper, which speculates on traversal
+// structure only): accum carries a cross-node flow dependence every 64
+// nodes — conflicts only when a chunk boundary splits a dependent
+// pair, the regime where speculation must win — while histo's churn
+// dial moves its nodes from fully private buckets (no conflicts ever)
+// to a handful of shared hot buckets (dense cross-chunk conflicts, the
+// regime the throttle must survive). Each row reports wall-clock per
+// invocation at t1/t2/t4, the best tN/t1 ratio, and the measured
+// conflict and squash rates.
+//
+// When outPath is non-empty the grid is also written as benchjson
+// records named DoacrossRegime/KERNEL_REGIME/tT, merged into
+// BENCH_pool.json alongside the scaling curve so the conflict-regime
+// trajectory accumulates across commits.
+func doacrossTable(outPath string) {
+	header("Native runtime: DOACROSS conflict regimes (spice.Cells)")
+
+	const size, invocations = 50_000, 30
+	regimes := []struct {
+		label  string
+		kernel string
+		churn  int
+	}{
+		{"accum_low", "accum", 64},
+		{"histo_none", "histo", 0},
+		{"histo_dense", "histo", 256},
+	}
+	threadGrid := []int{1, 2, 4}
+	cores := runtime.NumCPU()
+
+	measure := func(kernel string, churn, threads int) (perInv float64, st spice.Stats) {
+		inst := native.ByName(kernel).New(size, 59, churn)
+		r, err := spice.NewRunner(native.SpecLoop(), spice.Config{Threads: threads})
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		r.BindCells(inst.Cells)
+		r.MustRun(inst.Head) // bootstrap memoization
+		r.MustRun(inst.Head) // settle the steady state (views sized)
+		start := time.Now()
+		for i := 0; i < invocations; i++ {
+			r.MustRun(inst.Head)
+			inst.Mutate()
+		}
+		return time.Since(start).Seconds() / invocations, r.Stats()
+	}
+
+	var recs []benchfmt.Record
+	tbl := &stats.Table{Header: []string{
+		"regime", "threads", "ns/op", "tN/t1", "conflicts/inv", "squashed iters"}}
+	for _, reg := range regimes {
+		var base float64
+		for _, threads := range threadGrid {
+			perInv, st := measure(reg.kernel, reg.churn, threads)
+			if threads == 1 {
+				base = perInv
+			}
+			tbl.Add(reg.label, threads,
+				fmt.Sprintf("%.0f", perInv*1e9),
+				fmt.Sprintf("%.2fx", base/perInv),
+				fmt.Sprintf("%.3f", float64(st.Conflicts)/float64(max(st.Invocations, 1))),
+				st.SquashedIters)
+			recs = append(recs, benchfmt.Record{
+				Name:     fmt.Sprintf("DoacrossRegime/%s/t%d", reg.label, threads),
+				NsPerOp:  perInv * 1e9,
+				MaxProcs: runtime.GOMAXPROCS(0),
+				Cores:    cores,
+			})
+		}
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\n(%d-node lists, %d timed invocations per cell with value churn between\n",
+		size, invocations)
+	fmt.Println(" invocations; accum's dependence stride is 64 nodes, histo's churn dial")
+	fmt.Println(" is the fraction of nodes on 8 shared hot buckets; conflicts squash the")
+	fmt.Println(" chunk and re-execute it in order, so every row's result stays exactly")
+	fmt.Println(" sequential — on a multi-core host the low-conflict rows drop below 1.0x)")
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := benchfmt.Write(f, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d conflict-regime records to %s\n", len(recs), outPath)
+	}
 }
 
 // scalingCurve measures the native runner's wall-clock per invocation

@@ -1,0 +1,455 @@
+package spice
+
+// DOACROSS differential-oracle suite: speculative loops whose bodies
+// carry loop-ordered state through a Cells store (conflict-checked
+// reads/writes plus reductions) must produce bit-exact sequential
+// results across every conflict regime — none, rare (sparse cross-node
+// flow deps that only conflict when a chunk boundary splits a pair),
+// and dense (a handful of shared cells every iteration hammers) — with
+// the adaptive controller both on and off and at widths 1, 2 and 8.
+// CI runs this file under -race at GOMAXPROCS 1, 2 and 8.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spice/internal/reduction"
+)
+
+// dcReserved mirrors the cell layout every test here uses: cells 0 and
+// 1 are the Sum and Max reduction accumulators, data cells follow.
+const dcReserved = 2
+
+type dcnode struct {
+	w        int64
+	src, dst int
+	next     *dcnode
+}
+
+// dcLoop is the universal DOACROSS test body: a read-modify-write
+// through the cell store plus both reductions over the node weight.
+func dcLoop() Loop[*dcnode, int64] {
+	return Loop[*dcnode, int64]{
+		Done: func(n *dcnode) bool { return n == nil },
+		Next: func(n *dcnode) *dcnode { return n.next },
+		SpecBody: func(n *dcnode, a int64, v *CellView) int64 {
+			x := v.Load(n.src) + n.w
+			v.Store(n.dst, x)
+			v.Reduce(0, n.w)
+			v.Reduce(1, n.w)
+			return a + x
+		},
+		Init:  func() int64 { return 0 },
+		Merge: func(a, b int64) int64 { return a + b },
+		Reductions: []Reduction{
+			{Cell: 0, Kind: ReduceSum},
+			{Cell: 1, Kind: ReduceMax},
+		},
+	}
+}
+
+// buildDoacross builds a size-node list wired for the conflict regime,
+// plus the live store and an equally-sized shadow array for the
+// sequential reference model.
+func buildDoacross(rng *rand.Rand, size int, regime string) (*dcnode, []*dcnode, *Cells, []int64) {
+	nodes := make([]*dcnode, size)
+	var head *dcnode
+	for i := size - 1; i >= 0; i-- {
+		n := &dcnode{w: rng.Int63n(1 << 20), next: head}
+		head = n
+		nodes[i] = n
+	}
+	for i, n := range nodes {
+		own := dcReserved + i
+		n.src, n.dst = own, own
+		switch regime {
+		case "rare":
+			if i > 0 && i%64 == 0 {
+				n.src = dcReserved + i - 1
+			}
+		case "dense":
+			n.dst = dcReserved + i%4
+			n.src = n.dst
+		}
+	}
+	ncells := dcReserved + size
+	return head, nodes, NewCells(ncells), make([]int64, ncells)
+}
+
+// dcReference executes dcLoop's semantics sequentially against the
+// shadow array — the independent model every parallel run must match.
+func dcReference(head *dcnode, cells []int64) int64 {
+	var acc int64
+	for n := head; n != nil; n = n.next {
+		x := cells[n.src] + n.w
+		cells[n.dst] = x
+		acc += x
+		cells[0] += n.w
+		if n.w > cells[1] {
+			cells[1] = n.w
+		}
+	}
+	return acc
+}
+
+// assertCellsEqual compares the live store against the shadow model.
+func assertCellsEqual(t *testing.T, tag string, c *Cells, shadow []int64) {
+	t.Helper()
+	for i := range shadow {
+		if c.At(i) != shadow[i] {
+			t.Fatalf("%s: cell %d = %d, want %d", tag, i, c.At(i), shadow[i])
+		}
+	}
+}
+
+// TestDoacrossOracle is the differential matrix: conflict regime ×
+// adaptive × width, eight invocations each with value churn between
+// them, asserting the accumulator, every cell, and counter
+// conservation after every invocation.
+func TestDoacrossOracle(t *testing.T) {
+	for _, regime := range []string{"none", "rare", "dense"} {
+		for _, adaptive := range []bool{false, true} {
+			for _, threads := range []int{1, 2, 8} {
+				name := fmt.Sprintf("%s/adaptive=%v/t%d", regime, adaptive, threads)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(42))
+					head, nodes, cells, shadow := buildDoacross(rng, 600, regime)
+					loop := dcLoop()
+					loop.Cells = cells
+					r, err := NewRunner(loop, Config{
+						Threads: threads,
+						Options: Options{Adaptive: adaptive, ProbeInterval: 2},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer r.Close()
+					var iters int64
+					for inv := 0; inv < 8; inv++ {
+						want := dcReference(head, shadow)
+						got, rerr := r.Run(context.Background(), head)
+						if rerr != nil {
+							t.Fatalf("inv %d: %v", inv, rerr)
+						}
+						if got != want {
+							t.Fatalf("inv %d: acc = %d, want %d", inv, got, want)
+						}
+						assertCellsEqual(t, fmt.Sprintf("inv %d", inv), cells, shadow)
+						iters += int64(len(nodes))
+						for k := 0; k < 30; k++ {
+							nodes[rng.Intn(len(nodes))].w = rng.Int63n(1 << 20)
+						}
+					}
+					st := r.Stats()
+					if st.TotalIters != iters {
+						t.Fatalf("TotalIters = %d, want %d", st.TotalIters, iters)
+					}
+					if st.ConflictIters > st.SquashedIters {
+						t.Fatalf("ConflictIters %d > SquashedIters %d", st.ConflictIters, st.SquashedIters)
+					}
+					if st.Conflicts == 0 && st.ConflictIters != 0 {
+						t.Fatalf("ConflictIters %d with zero Conflicts", st.ConflictIters)
+					}
+					if threads == 1 && st.Conflicts != 0 {
+						t.Fatalf("width-1 run reported %d conflicts", st.Conflicts)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDoacrossDenseConflictsObserved pins the counters to the conflict
+// machinery: a dense regime at fixed width 8 must actually take the
+// squash-and-recover path (conflicts observed), and still match the
+// model exactly.
+func TestDoacrossDenseConflictsObserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	head, nodes, cells, shadow := buildDoacross(rng, 2000, "dense")
+	loop := dcLoop()
+	loop.Cells = cells
+	r, err := NewRunner(loop, Config{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for inv := 0; inv < 12; inv++ {
+		want := dcReference(head, shadow)
+		got, rerr := r.Run(context.Background(), head)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if got != want {
+			t.Fatalf("inv %d: acc = %d, want %d", inv, got, want)
+		}
+		assertCellsEqual(t, fmt.Sprintf("inv %d", inv), cells, shadow)
+		for k := 0; k < 20; k++ {
+			nodes[rng.Intn(len(nodes))].w = rng.Int63n(1 << 20)
+		}
+	}
+	st := r.Stats()
+	if st.Conflicts == 0 {
+		t.Fatal("dense regime at width 8 observed no conflicts; the conflict path was never exercised")
+	}
+	if st.ConflictIters == 0 || st.ConflictIters > st.SquashedIters {
+		t.Fatalf("ConflictIters = %d (SquashedIters %d)", st.ConflictIters, st.SquashedIters)
+	}
+}
+
+// TestDoacrossErrorPartialExecution: a surfaced body error must leave
+// the store exactly as sequential execution would — every iteration
+// before the erroring one applied (including reduction folds), nothing
+// at or after it.
+func TestDoacrossErrorPartialExecution(t *testing.T) {
+	errBoom := errors.New("boom")
+	const size, errAt = 900, 637
+	for _, threads := range []int{1, 8} {
+		t.Run(fmt.Sprintf("t%d", threads), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			head, nodes, cells, shadow := buildDoacross(rng, size, "rare")
+			loop := dcLoop()
+			loop.Cells = cells
+			var arm bool
+			loop.SpecBody = nil
+			loop.SpecBodyErr = func(n *dcnode, a int64, v *CellView) (int64, error) {
+				if arm && n == nodes[errAt] {
+					return a, errBoom
+				}
+				x := v.Load(n.src) + n.w
+				v.Store(n.dst, x)
+				v.Reduce(0, n.w)
+				v.Reduce(1, n.w)
+				return a + x, nil
+			}
+			r, err := NewRunner(loop, Config{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			// Two clean invocations memoize predictions so the erroring one
+			// actually dispatches speculative chunks at width > 1.
+			for inv := 0; inv < 2; inv++ {
+				want := dcReference(head, shadow)
+				got, rerr := r.Run(context.Background(), head)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				if got != want {
+					t.Fatalf("clean inv %d: acc = %d, want %d", inv, got, want)
+				}
+			}
+			arm = true
+			// Model the partial prefix: iterations 0..errAt-1 only.
+			for i := 0; i < errAt; i++ {
+				n := nodes[i]
+				shadow[n.dst] = shadow[n.src] + n.w
+				shadow[0] += n.w
+				if n.w > shadow[1] {
+					shadow[1] = n.w
+				}
+			}
+			if _, rerr := r.Run(context.Background(), head); !errors.Is(rerr, errBoom) {
+				t.Fatalf("error invocation returned %v, want %v", rerr, errBoom)
+			}
+			assertCellsEqual(t, "after error", cells, shadow)
+		})
+	}
+}
+
+// TestDoacrossBindCells covers the binding surface: a speculative loop
+// with no store fails with ErrNoCells, an out-of-range reduction cell
+// fails with ErrBadReduction, and BindCells supplies a store after
+// construction.
+func TestDoacrossBindCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	head, _, cells, shadow := buildDoacross(rng, 200, "none")
+
+	r, err := NewRunner(dcLoop(), Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := r.Run(context.Background(), head); !errors.Is(rerr, ErrNoCells) {
+		t.Fatalf("unbound speculative run returned %v, want ErrNoCells", rerr)
+	}
+	r.BindCells(cells)
+	want := dcReference(head, shadow)
+	got, rerr := r.Run(context.Background(), head)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if got != want {
+		t.Fatalf("acc = %d, want %d", got, want)
+	}
+	assertCellsEqual(t, "after bind", cells, shadow)
+	r.Close()
+
+	bad := dcLoop()
+	bad.Reductions = []Reduction{{Cell: 10_000, Kind: ReduceSum}}
+	bad.Cells = cells
+	rb, err := NewRunner(bad, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	if _, rerr := rb.Run(context.Background(), head); !errors.Is(rerr, ErrBadReduction) {
+		t.Fatalf("out-of-range reduction returned %v, want ErrBadReduction", rerr)
+	}
+}
+
+// TestDoacrossLoopValidation: a loop must declare exactly one body
+// form, and cell/reduction declarations require a speculative body.
+func TestDoacrossLoopValidation(t *testing.T) {
+	base := dcLoop()
+
+	both := base
+	both.Body = func(n *dcnode, a int64) int64 { return a }
+	if _, err := NewRunner(both, Config{Threads: 2}); err == nil {
+		t.Fatal("Body+SpecBody accepted")
+	}
+
+	plain := Loop[*dcnode, int64]{
+		Done:  base.Done,
+		Next:  base.Next,
+		Body:  func(n *dcnode, a int64) int64 { return a + n.w },
+		Init:  base.Init,
+		Merge: base.Merge,
+		Cells: NewCells(4),
+	}
+	if _, err := NewRunner(plain, Config{Threads: 2}); err == nil {
+		t.Fatal("Cells on a non-speculative loop accepted")
+	}
+	plain.Cells = nil
+	plain.Reductions = []Reduction{{Cell: 0, Kind: ReduceSum}}
+	if _, err := NewRunner(plain, Config{Threads: 2}); err == nil {
+		t.Fatal("Reductions on a non-speculative loop accepted")
+	}
+}
+
+// TestCellViewSemantics unit-tests the speculative memory itself:
+// store-to-load forwarding, buffered invisibility, read-set recording,
+// tick-scoped conflict detection and ordered drains.
+func TestCellViewSemantics(t *testing.T) {
+	c := NewCells(8)
+	c.Set(3, 30)
+	c.beginRound()
+
+	var w, r CellView
+	w.begin(c, nil, false) // chunk 0: buffers, no read tracking
+	r.begin(c, nil, true)  // a later chunk: buffers and records reads
+
+	// Forwarding: the reader's own store satisfies its later load without
+	// recording a fall-through read or touching the store.
+	r.Store(5, 55)
+	if got := r.Load(5); got != 55 {
+		t.Fatalf("forwarded load = %d, want 55", got)
+	}
+	if c.At(5) != 0 {
+		t.Fatal("buffered store reached the store before drain")
+	}
+	if r.reads() != 0 {
+		t.Fatalf("forwarded load recorded %d reads", r.reads())
+	}
+
+	// Fall-through read: recorded once, sees the pre-round value even
+	// though chunk 0 has a buffered write to the same cell.
+	w.Store(3, 99)
+	if got := r.Load(3); got != 30 {
+		t.Fatalf("fall-through load = %d, want 30", got)
+	}
+	r.Load(3)
+	if r.reads() != 1 {
+		t.Fatalf("reads = %d, want 1 (deduplicated)", r.reads())
+	}
+
+	// No conflict until the earlier chunk drains; conflict after.
+	if r.conflicted() {
+		t.Fatal("conflict before any earlier drain")
+	}
+	w.drain()
+	if c.At(3) != 99 {
+		t.Fatalf("drain left cell 3 = %d, want 99", c.At(3))
+	}
+	if !r.conflicted() {
+		t.Fatal("stale read not flagged after earlier chunk drained")
+	}
+
+	// A chunk armed in the NEXT round reads the committed value — that
+	// must not conflict with the previous round's drain.
+	c.beginRound()
+	var n CellView
+	n.begin(c, nil, true)
+	if got := n.Load(3); got != 99 {
+		t.Fatalf("next-round load = %d, want 99", got)
+	}
+	if n.conflicted() {
+		t.Fatal("next-round read of a committed cell flagged as conflict")
+	}
+}
+
+// TestCellViewReductionMerge: private accumulators start at the kind's
+// identity and fold into their cells in drain order.
+func TestCellViewReductionMerge(t *testing.T) {
+	c := NewCells(4)
+	c.Set(0, 100) // pre-existing Sum accumulator value
+	c.Set(1, 7)   // pre-existing Max
+	red := []Reduction{{Cell: 0, Kind: ReduceSum}, {Cell: 1, Kind: ReduceMax}}
+	c.beginRound()
+
+	var a, b CellView
+	a.begin(c, red, false)
+	b.begin(c, red, true)
+	a.Reduce(0, 5)
+	a.Reduce(1, 3)
+	b.Reduce(0, 10)
+	b.Reduce(1, 42)
+	a.drain()
+	b.drain()
+	if got := c.At(0); got != 115 {
+		t.Fatalf("Sum cell = %d, want 115", got)
+	}
+	if got := c.At(1); got != 42 {
+		t.Fatalf("Max cell = %d, want 42", got)
+	}
+
+	// A chunk that never calls Reduce folds the identity — a no-op.
+	c.beginRound()
+	var idle CellView
+	idle.begin(c, red, true)
+	idle.drain()
+	if c.At(0) != 115 || c.At(1) != 42 {
+		t.Fatalf("identity fold changed cells: %d, %d", c.At(0), c.At(1))
+	}
+}
+
+// TestReductionKindParity pins the native ReductionKind constants to
+// the simulator-side internal/reduction.Kind: same order, same names,
+// same identities — so a compiler-pipeline classification maps 1:1
+// onto a native declaration.
+func TestReductionKindParity(t *testing.T) {
+	pairs := []struct {
+		native ReductionKind
+		sim    reduction.Kind
+	}{
+		{ReduceSum, reduction.Sum},
+		{ReduceProduct, reduction.Product},
+		{ReduceAnd, reduction.BitAnd},
+		{ReduceOr, reduction.BitOr},
+		{ReduceXor, reduction.BitXor},
+		{ReduceMin, reduction.Min},
+		{ReduceMax, reduction.Max},
+	}
+	for _, p := range pairs {
+		if int(p.native) != int(p.sim) {
+			t.Errorf("%v: native ordinal %d, simulator %d", p.native, int(p.native), int(p.sim))
+		}
+		if p.native.String() != p.sim.String() {
+			t.Errorf("name mismatch: native %q, simulator %q", p.native.String(), p.sim.String())
+		}
+		if p.native.Identity() != p.sim.Identity() {
+			t.Errorf("%v: native identity %d, simulator %d", p.native, p.native.Identity(), p.sim.Identity())
+		}
+	}
+}

@@ -58,6 +58,69 @@ func FuzzRunnerOracle(f *testing.F) {
 	})
 }
 
+// FuzzDoacrossOracle fuzzes the DOACROSS machinery: list sizes, widths,
+// the speculative iteration cap (which moves chunk boundaries and with
+// them which flow dependences get split), and the conflict regime,
+// asserting every invocation's accumulator AND the full cell store
+// equal the sequential reference model, with adaptive mode both on and
+// off, plus conflict-counter conservation.
+func FuzzDoacrossOracle(f *testing.F) {
+	f.Add(int64(1), uint16(200), uint8(4), uint8(0), uint16(0))
+	f.Add(int64(2), uint16(500), uint8(8), uint8(1), uint16(64))
+	f.Add(int64(3), uint16(900), uint8(2), uint8(2), uint16(17))
+	f.Add(int64(-5), uint16(1), uint8(1), uint8(2), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, size uint16, threads, regime uint8, maxSpec uint16) {
+		tc := int(threads%8) + 1
+		n := int(size%1024) + 1
+		regimes := []string{"none", "rare", "dense"}
+		reg := regimes[int(regime)%len(regimes)]
+		for _, adaptive := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(seed))
+			head, nodes, cells, shadow := buildDoacross(rng, n, reg)
+			loop := dcLoop()
+			loop.Cells = cells
+			r, err := NewRunner(loop, Config{
+				Threads:      tc,
+				MaxSpecIters: int64(maxSpec),
+				Options:      Options{Adaptive: adaptive, ProbeInterval: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var iters int64
+			for inv := 0; inv < 5; inv++ {
+				want := dcReference(head, shadow)
+				got, rerr := r.Run(context.Background(), head)
+				if rerr != nil {
+					t.Fatalf("adaptive=%v inv=%d: %v", adaptive, inv, rerr)
+				}
+				if got != want {
+					t.Fatalf("adaptive=%v inv=%d: acc %d, want %d", adaptive, inv, got, want)
+				}
+				for i := range shadow {
+					if cells.At(i) != shadow[i] {
+						t.Fatalf("adaptive=%v inv=%d: cell %d = %d, want %d",
+							adaptive, inv, i, cells.At(i), shadow[i])
+					}
+				}
+				iters += int64(len(nodes))
+				for k := 0; k < 10; k++ {
+					nodes[rng.Intn(len(nodes))].w = rng.Int63n(1 << 20)
+				}
+			}
+			st := r.Stats()
+			if st.TotalIters != iters {
+				t.Fatalf("adaptive=%v: TotalIters = %d, want %d", adaptive, st.TotalIters, iters)
+			}
+			if st.ConflictIters > st.SquashedIters {
+				t.Fatalf("adaptive=%v: ConflictIters %d > SquashedIters %d",
+					adaptive, st.ConflictIters, st.SquashedIters)
+			}
+			r.Close()
+		}
+	})
+}
+
 // FuzzPredictorApply fuzzes the predictor in isolation: arbitrary memo
 // streams (rows, positions) against arbitrary totals must never panic,
 // must round-trip through snapshot, and must always yield structurally

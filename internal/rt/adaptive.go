@@ -191,6 +191,12 @@ const (
 	// verdict. A probe resolved as SpecSkipped is abandoned without
 	// promoting.
 	SpecSkipped
+	// SpecConflict: a DOACROSS read/write-set conflict squashed at
+	// least one chunk. The predictions themselves were validated, but
+	// the invocation still paid squash-and-recover — and narrower width
+	// genuinely shrinks the cross-chunk conflict surface — so the
+	// controller treats it exactly like a misspeculation loss.
+	SpecConflict
 )
 
 // Observe feeds back the outcome of the invocation started by the last
@@ -225,7 +231,7 @@ func (c *SpecController) Observe(outcome SpecOutcome) {
 		return
 	}
 	x := 0.0
-	if outcome == SpecMisspec {
+	if outcome == SpecMisspec || outcome == SpecConflict {
 		x = 1
 	}
 	c.rate = (1-specEWMAAlpha)*c.rate + specEWMAAlpha*x

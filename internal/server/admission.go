@@ -151,6 +151,11 @@ func (s *Server) runJob(j *job, started time.Time) (*JobResult, *apiError) {
 	if aerr := inst.ensureSession(s, budget); aerr != nil {
 		return nil, aerr
 	}
+	// Bind the instance's private cell store every job: a width change
+	// reopens the session, and the fresh runner's reset cleared any
+	// earlier binding. DOALL kernels carry a minimal store that the
+	// universal SpecLoop's reduction declarations require.
+	inst.sess.BindCells(inst.inst.Cells)
 	before := inst.sess.Stats()
 
 	var acc int64
@@ -200,6 +205,7 @@ func (s *Server) runJob(j *job, started time.Time) (*JobResult, *apiError) {
 		Iters:       d.TotalIters,
 		Hits:        d.Hits,
 		Misses:      d.Misses,
+		Conflicts:   d.Conflicts,
 		Sheds:       d.BatchSheds,
 		Budget:      budget,
 		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),

@@ -117,6 +117,7 @@ type tenantMetricsRow struct {
 	invocations     int64
 	iters           int64
 	hits, misses    int64
+	conflicts       int64
 	misspecInv      int64
 	sheds, seqFalls int64
 	starved         bool
@@ -161,6 +162,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("spiced_pool_spec_hits_total", "speculative chunks committed", ps.Hits)
 	counter("spiced_pool_spec_misses_total", "speculative chunks squashed", ps.Misses)
 	counter("spiced_pool_squashed_iters_total", "speculative iterations discarded", ps.SquashedIters)
+	counter("spiced_pool_conflicts_total", "DOACROSS read/write-set conflict events", ps.Conflicts)
+	counter("spiced_pool_conflict_iters_total", "speculative iterations squashed by DOACROSS conflicts", ps.ConflictIters)
 	counter("spiced_pool_recoveries_total", "parallel squash-recovery rounds", ps.Recoveries)
 	counter("spiced_pool_batch_sheds_total", "invocations shed to in-place sequential execution", ps.BatchSheds)
 
@@ -202,6 +205,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(t tenantMetricsRow) int64 { return t.hits })
 		perTenantCounter("spiced_tenant_spec_misses_total", "speculative chunks squashed for the tenant",
 			func(t tenantMetricsRow) int64 { return t.misses })
+		perTenantCounter("spiced_tenant_conflicts_total", "DOACROSS read/write-set conflict events for the tenant",
+			func(t tenantMetricsRow) int64 { return t.conflicts })
 		perTenantCounter("spiced_tenant_misspec_invocations_total", "tenant invocations with at least one squashed chunk",
 			func(t tenantMetricsRow) int64 { return t.misspecInv })
 		perTenantCounter("spiced_tenant_batch_sheds_total", "tenant invocations shed to sequential in-place execution",

@@ -101,6 +101,9 @@ type JobResult struct {
 	// Hits and Misses are the job's speculative-chunk outcomes.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// Conflicts counts the job's DOACROSS read/write-set conflict events
+	// (zero for DOALL kernels).
+	Conflicts int64 `json:"conflicts,omitempty"`
 	// Sheds counts the job's invocations executed sequentially in place
 	// because the executor was saturated or the traversal too small.
 	Sheds int64 `json:"sheds"`
@@ -124,6 +127,9 @@ type KernelInfo struct {
 	Name           string `json:"name"`
 	Description    string `json:"description"`
 	Predictability string `json:"predictability"`
+	// DOACROSS marks kernels whose loop bodies carry cross-iteration
+	// state through conflict-checked speculative cells and reductions.
+	DOACROSS bool `json:"doacross,omitempty"`
 }
 
 // apiError is a protocol-level failure: an HTTP status plus a one-line

@@ -179,7 +179,11 @@ var ErrDraining = errors.New("spiced: already draining")
 // until Drain).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	pool, err := spice.NewPool(native.Loop(), spice.PoolConfig{
+	// SpecLoop rather than Loop: the universal speculative body serves
+	// DOALL and DOACROSS kernels alike (DOALL nodes never touch the cell
+	// store), so one shared pool covers the whole registry. Each job
+	// binds its instance's private Cells before running.
+	pool, err := spice.NewPool(native.SpecLoop(), spice.PoolConfig{
 		Config:  spice.Config{Threads: cfg.MaxWidth},
 		Workers: cfg.Workers,
 	})
@@ -364,6 +368,7 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 			Name:           k.Name,
 			Description:    k.Description,
 			Predictability: k.Predictability,
+			DOACROSS:       k.DOACROSS,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

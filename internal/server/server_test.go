@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"spice"
 	"spice/internal/workloads/native"
 )
 
@@ -616,4 +617,236 @@ func TestInstanceLRUEviction(t *testing.T) {
 	if n > 2 {
 		t.Fatalf("instance table %d entries, want <= MaxInstances 2", n)
 	}
+}
+
+// specOracle replays a job's invocation sequence on a fresh identical
+// instance through a width-1 runner — the sequential reference the
+// served result must equal bit-for-bit (same seed, same churn stream).
+func specOracle(t *testing.T, kernel string, size, seed int64, churn int, invocations int64, batched bool) int64 {
+	t.Helper()
+	inst := native.ByName(kernel).New(size, seed, churn)
+	r, err := spice.NewRunner(native.SpecLoop(), spice.Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.BindCells(inst.Cells)
+	var acc int64
+	for i := int64(0); i < invocations; i++ {
+		acc, err = r.Run(context.Background(), inst.Head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !batched {
+			inst.Mutate()
+		}
+	}
+	return acc
+}
+
+// TestDoacrossKernelsServed runs the DOACROSS kernels end to end
+// through the serving daemon (which now fronts the registry with the
+// universal SpecLoop pool) and checks results against the sequential
+// oracle on all three paths: churned per-invocation accum, batched
+// immutable accum, and the dense-conflict histo regime — where the
+// conflict counter must actually move.
+func TestDoacrossKernelsServed(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	h := s.Handler()
+
+	// accum, churned: the per-invocation Session.Run path.
+	w := do(h, "POST", "/v1/run", JobRequest{
+		Tenant: "t1", Kernel: "accum", Size: 3000, Seed: 5, Churn: 16, Invocations: 6,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("accum churned: status %d (%s)", w.Code, w.Body.String())
+	}
+	res := decode[JobResult](t, w)
+	if want := specOracle(t, "accum", 3000, 5, 16, 6, false); res.Result != want {
+		t.Fatalf("accum churned: result %d, oracle %d", res.Result, want)
+	}
+
+	// accum, immutable: rides Session.RunBatch; cells still carry state
+	// across the batched invocations in order.
+	w = do(h, "POST", "/v1/run", JobRequest{
+		Tenant: "t1", Kernel: "accum", Size: 3000, Seed: 9, Invocations: 4,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("accum batched: status %d (%s)", w.Code, w.Body.String())
+	}
+	res = decode[JobResult](t, w)
+	if want := specOracle(t, "accum", 3000, 9, 0, 4, true); res.Result != want {
+		t.Fatalf("accum batched: result %d, oracle %d", res.Result, want)
+	}
+
+	// histo at full hot fraction: every node hammers 8 shared buckets, so
+	// parallel invocations must take the conflict squash-and-recover path
+	// and still match the oracle exactly.
+	w = do(h, "POST", "/v1/run", JobRequest{
+		Tenant: "t1", Kernel: "histo", Size: 4000, Seed: 3, Churn: 256, Invocations: 8,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("histo dense: status %d (%s)", w.Code, w.Body.String())
+	}
+	res = decode[JobResult](t, w)
+	if want := specOracle(t, "histo", 4000, 3, 256, 8, false); res.Result != want {
+		t.Fatalf("histo dense: result %d, oracle %d", res.Result, want)
+	}
+	if res.Conflicts == 0 {
+		t.Fatalf("histo dense at width %d reported zero conflicts", res.Budget)
+	}
+
+	// The kernel listing must advertise the DOACROSS kernels as such.
+	kw := do(h, "GET", "/v1/kernels", nil)
+	infos := decode[[]KernelInfo](t, kw)
+	byName := map[string]KernelInfo{}
+	for _, k := range infos {
+		byName[k.Name] = k
+	}
+	if !byName["accum"].DOACROSS || !byName["histo"].DOACROSS || byName["sumlist"].DOACROSS {
+		t.Fatalf("DOACROSS flags wrong in /v1/kernels: %+v", byName)
+	}
+}
+
+// TestProbeStaggering is the regression test for the allocator's probe
+// grant: a probe hands a starved tenant MaxWidth *without charging the
+// proportional capacity pool*, so several starved tenants all probing
+// in the same window used to oversubscribe the executor by
+// (starved × MaxWidth) at once. At most one tenant may probe per
+// rebalance window, and the grant must rotate so every starved tenant
+// still gets its turn.
+func TestProbeStaggering(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxWidth = 4
+	cfg.MinSample = 4
+	cfg.ProbeWindows = 2
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	tenants := []string{"s1", "s2", "s3"}
+	runAll := func() {
+		for _, tn := range tenants {
+			w := do(h, "POST", "/v1/run", JobRequest{
+				Tenant: tn, Kernel: "hostile", Size: 3000, Churn: 3000, Invocations: 20,
+			})
+			if w.Code != http.StatusOK {
+				t.Fatalf("%s: status %d (%s)", tn, w.Code, w.Body.String())
+			}
+		}
+	}
+
+	// Phase 1: starve all three.
+	for window := 0; window < 4; window++ {
+		runAll()
+		s.rebalance()
+	}
+	for _, name := range tenants {
+		tn, _ := s.tenantFor(name)
+		tn.mu.Lock()
+		starved := tn.starved
+		tn.mu.Unlock()
+		if !starved {
+			t.Fatalf("tenant %s not starved after hostile phase", name)
+		}
+	}
+
+	// Phase 2: all three stay active and probe-eligible; every window
+	// must grant at most one MaxWidth probe, rotating across tenants.
+	probed := map[string]int{}
+	for window := 0; window < 9; window++ {
+		runAll()
+		s.rebalance()
+		var grants []string
+		for _, name := range tenants {
+			tn, _ := s.tenantFor(name)
+			if tn.budget.Load() > 1 {
+				grants = append(grants, name)
+			}
+		}
+		if len(grants) > 1 {
+			t.Fatalf("window %d granted %d simultaneous probes (%v), want at most 1",
+				window, len(grants), grants)
+		}
+		for _, g := range grants {
+			probed[g]++
+		}
+	}
+	if len(probed) != len(tenants) {
+		t.Fatalf("probe grants did not rotate: only %v probed over 9 windows", probed)
+	}
+}
+
+// TestEvictedInstanceFailsQueuedJob is the regression test for the
+// eviction/queued-job race: a job admitted while its instance was live
+// could reach ensureSession after LRU eviction closed the instance's
+// session, silently re-opening a session that no eviction or drain walk
+// would ever close again (a leaked runner pinned forever). An evicted
+// instance must now fail the late job fast instead.
+func TestEvictedInstanceFailsQueuedJob(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInstances = 1
+	s := newTestServer(t, cfg)
+
+	tn, aerr := s.tenantFor("t1")
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	reqA := JobRequest{Tenant: "t1", Kernel: "sumlist", Size: 100, Seed: 1}
+	if aerr := reqA.normalize(&s.cfg); aerr != nil {
+		t.Fatal(aerr)
+	}
+	a := tn.instanceFor(s, &reqA)
+	a.mu.Lock()
+	if aerr := a.ensureSession(s, 2); aerr != nil {
+		t.Fatal(aerr)
+	}
+	a.mu.Unlock()
+
+	// A second key evicts A (MaxInstances = 1).
+	reqB := JobRequest{Tenant: "t1", Kernel: "sumlist", Size: 100, Seed: 2}
+	if aerr := reqB.normalize(&s.cfg); aerr != nil {
+		t.Fatal(aerr)
+	}
+	tn.instanceFor(s, &reqB)
+
+	// The "queued job" now reaches the evicted instance.
+	a.mu.Lock()
+	aerr = a.ensureSession(s, 2)
+	leaked := a.sess != nil
+	a.mu.Unlock()
+	if aerr == nil || aerr.code != http.StatusGone {
+		t.Fatalf("evicted instance ensureSession = %v, want 410", aerr)
+	}
+	if leaked {
+		t.Fatal("evicted instance re-opened a session (runner leak)")
+	}
+}
+
+// TestEvictionConcurrentJobs hammers the eviction path from concurrent
+// clients under -race: every response must be a success or an honest
+// backpressure/eviction answer, never a hang or a corrupted state.
+func TestEvictionConcurrentJobs(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInstances = 1
+	cfg.Dispatchers = 4
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				w := do(h, "POST", "/v1/run", JobRequest{
+					Tenant: "t1", Kernel: "sumlist", Size: 300, Seed: int64(i%3 + 1),
+				})
+				switch w.Code {
+				case http.StatusOK, http.StatusGone, http.StatusTooManyRequests:
+				default:
+					t.Errorf("goroutine %d: status %d (%s)", g, w.Code, w.Body.String())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -15,6 +15,7 @@ package server
 // so a reformed tenant can earn its budget back.
 
 import (
+	"net/http"
 	"sync"
 	"sync/atomic"
 
@@ -65,6 +66,11 @@ type instance struct {
 	inst  *native.Instance
 	sess  *spice.Session[*native.Node, int64]
 	width int
+	// dead marks an instance evicted from its tenant's LRU. A queued job
+	// may still hold the pointer; once set (under mu, by the evictor),
+	// ensureSession fails fast instead of re-opening a session that no
+	// eviction or drain path would ever close again (a runner leak).
+	dead bool
 }
 
 // ensureSession (re)opens the instance's session at the given width.
@@ -72,6 +78,13 @@ type instance struct {
 // bootstrap invocation — so it only happens when the width actually
 // changed.
 func (i *instance) ensureSession(s *Server, width int) *apiError {
+	if i.dead {
+		return &apiError{
+			code:       http.StatusGone,
+			msg:        "structure instance evicted while the job was queued; resubmit",
+			retryAfter: 1,
+		}
+	}
 	if i.sess != nil && i.width == width {
 		return nil
 	}
@@ -156,9 +169,13 @@ func (t *tenant) instanceFor(s *Server, req *JobRequest) *instance {
 	if evicted != nil {
 		// Outside t.mu (lock order: instance.mu before tenant.mu). A job
 		// still executing on the evicted instance finishes first; the
-		// session is closed once its lock is free.
+		// session is closed once its lock is free. dead stops the race
+		// with a job that was queued holding this pointer: without it,
+		// that job's ensureSession would re-open a session on the evicted
+		// instance that no later eviction or drain walk ever closes.
 		evicted.mu.Lock()
 		evicted.closeSession()
+		evicted.dead = true
 		evicted.mu.Unlock()
 	}
 	return inst
@@ -225,15 +242,48 @@ func (s *Server) rebalance() {
 		if t.starved && active {
 			t.starvedWindows++
 			// A starved tenant runs sequentially and generates no
-			// hit/miss evidence, so it could never recover; every
-			// ProbeWindows active windows it briefly gets the full width
-			// back so its loops testify at the width the allocator is
-			// actually pricing (narrow probes flatter hostile loops: with
-			// one chunk boundary, membership validation commits almost
-			// anything).
-			probe = t.starvedWindows%s.cfg.ProbeWindows == 0
+			// hit/miss evidence, so it could never recover; after
+			// ProbeWindows active windows it becomes *eligible* to briefly
+			// get the full width back so its loops testify at the width
+			// the allocator is actually pricing (narrow probes flatter
+			// hostile loops: with one chunk boundary, membership
+			// validation commits almost anything).
+			probe = t.starvedWindows >= s.cfg.ProbeWindows
 		}
 		rows = append(rows, row{t: t, active: active, score: t.score, probe: probe})
+		t.mu.Unlock()
+	}
+
+	// Stagger probes: a MaxWidth probe grant bypasses the proportional
+	// division below (its capacity is never charged against specCap), so
+	// letting every eligible starved tenant probe in the same window
+	// would oversubscribe the executor by (eligible × MaxWidth) workers
+	// at once. Grant at most ONE probe per rebalance window — the tenant
+	// starved longest, name as a deterministic tie-break — and restart
+	// its probe clock; the losers keep accumulating starvedWindows, so
+	// they win strictly later windows in turn.
+	winner := -1
+	for i, r := range rows {
+		if !r.probe {
+			continue
+		}
+		if winner < 0 ||
+			r.t.starvedWindows > rows[winner].t.starvedWindows ||
+			(r.t.starvedWindows == rows[winner].t.starvedWindows && r.t.name < rows[winner].t.name) {
+			winner = i
+		}
+	}
+	for i := range rows {
+		if !rows[i].probe {
+			continue
+		}
+		if i != winner {
+			rows[i].probe = false
+			continue
+		}
+		t := rows[i].t
+		t.mu.Lock()
+		t.starvedWindows = 0
 		t.mu.Unlock()
 	}
 
@@ -312,6 +362,7 @@ func (s *Server) snapshotTenants() []tenantMetricsRow {
 			iters:       t.agg.TotalIters,
 			hits:        t.agg.Hits,
 			misses:      t.agg.Misses,
+			conflicts:   t.agg.Conflicts,
 			misspecInv:  t.agg.MisspecInvocations,
 			sheds:       t.agg.BatchSheds,
 			seqFalls:    t.agg.SequentialFallbacks,

@@ -26,10 +26,20 @@ import (
 	"spice"
 )
 
-// Node is one element of every native kernel's traversal.
+// Node is one element of every native kernel's traversal. The DOALL
+// kernels use only W and Next; the DOACROSS kernels (doacross.go)
+// additionally give each node an operation kind and cell operands, so
+// one universal speculative loop (SpecLoop) serves every kernel behind
+// a single shared pool.
 type Node struct {
 	W    int64
 	Next *Node
+	// Src and Dst are cell-store operand indices for the DOACROSS
+	// operation kinds; Kind selects the per-node operation (opSum for
+	// plain summation — the zero value, so DOALL builders and mutators
+	// need no changes).
+	Src, Dst int32
+	Kind     uint8
 }
 
 // Loop returns the weight-summation loop shared by all native
@@ -68,8 +78,16 @@ type Kernel struct {
 	// Predictability summarizes the expected chunk-start hit profile:
 	// "high", "medium" or "hostile".
 	Predictability string
+	// DOACROSS marks kernels whose loop bodies carry cross-iteration
+	// state through the cell store (conflict-checked speculative
+	// reads/writes and reductions). DOALL kernels leave it false.
+	DOACROSS bool
 	// Build returns the initial structure: its head and every node.
 	Build func(rng *rand.Rand, size int64) (*Node, []*Node)
+	// Setup, when non-nil, runs once after Build: DOACROSS kernels use
+	// it to allocate the instance's cell store and assign each node's
+	// operation kind and cell operands.
+	Setup func(rng *rand.Rand, inst *Instance)
 	// Mutate applies one invocation's worth of churn to the instance.
 	// churn scales the mutation count; it must only be called between
 	// invocations (never while a Run is in flight).
@@ -84,6 +102,12 @@ type Instance struct {
 	// mutators index it to pick churn victims and may grow it when they
 	// allocate replacement nodes.
 	Nodes []*Node
+	// Cells is the instance's private DOACROSS cell store, sized by the
+	// kernel's Setup (a minimal store for DOALL kernels, so every
+	// instance can run behind the shared SpecLoop pool). Never share a
+	// store across instances: concurrent invocations against one store
+	// race by construction.
+	Cells *spice.Cells
 
 	kernel *Kernel
 	rng    *rand.Rand
@@ -92,11 +116,23 @@ type Instance struct {
 
 // New builds one instance of the kernel. seed fixes the structure and
 // the mutation stream; churn scales each Mutate call's mutation count
-// (0 means an immutable structure — Mutate becomes a no-op).
+// (0 means an immutable structure — Mutate becomes a no-op for DOALL
+// kernels; the histogram kernel also reads it as its conflict-density
+// dial at Setup).
 func (k *Kernel) New(size, seed int64, churn int) *Instance {
 	rng := rand.New(rand.NewSource(seed))
 	head, all := k.Build(rng, size)
-	return &Instance{Head: head, Nodes: all, kernel: k, rng: rng, churn: churn}
+	inst := &Instance{Head: head, Nodes: all, kernel: k, rng: rng, churn: churn}
+	if k.Setup != nil {
+		k.Setup(rng, inst)
+	}
+	if inst.Cells == nil {
+		// The shared SpecLoop declares reduction cells 0 and 1, so even a
+		// DOALL instance needs a store covering them when served through
+		// the speculative pool.
+		inst.Cells = spice.NewCells(reservedCells)
+	}
+	return inst
 }
 
 // Mutate applies one invocation's worth of the kernel's churn profile.

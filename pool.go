@@ -355,6 +355,21 @@ func (s *Session[S, A]) RunBatch(ctx context.Context, starts []S) ([]A, error) {
 	return out, nil
 }
 
+// BindCells binds the DOACROSS cell store this session's invocations
+// run against (see Runner.BindCells). A session is pinned to one caller
+// and one structure, which is exactly the serialization a Cells store
+// needs — pool-recycled Run/Submit runners would let two concurrent
+// invocations race on one store, so sessions are the pool's intended
+// DOACROSS front door. The binding is cleared when the session closes
+// (the runner reset restores Loop.Cells); re-bind after reopening a
+// session, e.g. on a width change. No-op after Close.
+func (s *Session[S, A]) BindCells(c *Cells) {
+	if s.r == nil {
+		return
+	}
+	s.r.BindCells(c)
+}
+
 // Stats returns the session runner's counters (zero after Close).
 func (s *Session[S, A]) Stats() Stats {
 	if s.r == nil {
@@ -439,14 +454,24 @@ func (p *Pool[S, A]) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var s Stats
+	// EffectiveThreads: the widest live gauge across the pool's runners,
+	// defaulting to the configured width before any runner exists. Using
+	// the most recently *released* runner here was a bug: a width-1
+	// tenant session closing last made the whole pool scrape as
+	// sequential on /metrics even while full-width runners sat idle.
+	s.EffectiveThreads = int64(p.cfg.Threads)
+	var maxEff int64
 	for _, r := range p.all {
 		r.stats.addInto(&s)
+		if g := r.stats.effectiveThreads.Load(); g > maxEff {
+			maxEff = g
+		}
 	}
-	s.EffectiveThreads = int64(p.cfg.Threads) // before any release: the configured width
+	if len(p.all) > 0 {
+		s.EffectiveThreads = maxEff
+	}
 	if p.last != nil {
-		last := p.last.Stats()
-		s.LastWorks = last.LastWorks
-		s.EffectiveThreads = last.EffectiveThreads
+		s.LastWorks = p.last.Stats().LastWorks
 	}
 	return s
 }

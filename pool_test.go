@@ -338,6 +338,39 @@ func TestPoolStatsReadableUnderLoad(t *testing.T) {
 	}
 }
 
+// TestPoolStatsEffectiveThreadsNarrowSessionLast is the regression test
+// for the Stats gauge bug: EffectiveThreads used to be copied from the
+// most recently *released* runner, so a width-1 session closing last
+// made the whole pool scrape as sequential even though a full-width
+// runner sat idle. The gauge must report the widest runner.
+func TestPoolStatsEffectiveThreadsNarrowSessionLast(t *testing.T) {
+	p, err := NewPool(xorLoop(), PoolConfig{Config: Config{Threads: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	l := newTestList(400, 1)
+
+	wide, err := p.SessionWidth(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.MustRun(l.head)
+	wide.Close()
+
+	narrow, err := p.SessionWidth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow.MustRun(l.head)
+	narrow.Close() // released last — the old code reported this runner's width
+
+	if st := p.Stats(); st.EffectiveThreads != 4 {
+		t.Fatalf("EffectiveThreads = %d after a narrow session closed last, want 4",
+			st.EffectiveThreads)
+	}
+}
+
 // --- Parallel squash recovery ----------------------------------------
 
 // TestParallelSquashRecoveryForcedCap forces mis-speculation with a

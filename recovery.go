@@ -84,6 +84,12 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 			s.used = n
 		}
 		s.armAbort()
+		// DOACROSS: this round's chunks start with every earlier commit
+		// already in the store, so they validate only against writes
+		// committed from this round's tick onward.
+		if s.cells != nil {
+			s.cells.beginRound()
+		}
 		// Same warm-queue affinity as the primary round: chunk i of every
 		// recovery round lands on the runner's home shard stripe.
 		r.sub.rewind()
@@ -101,6 +107,13 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 				ownRow = cands[i]
 			}
 			s.jobs[i].reset(r, ctx, st, snap, ownRow, i > 0, s.recPlans[i], posBase, cap64)
+			if s.cells != nil {
+				// Same view discipline as primary dispatch: the resume
+				// chunk starts from architecturally correct state with
+				// every earlier commit already drained, so it buffers but
+				// records no read-set; speculative round chunks record.
+				s.views[i].begin(s.cells, s.reds, i > 0)
+			}
 			s.lat.add(1)
 			if i > 0 {
 				r.sub.submit(&s.jobs[i])
@@ -116,14 +129,29 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 		// global positions, squash the rest. A failed chunk in the valid
 		// prefix fails the whole invocation (its predecessors all
 		// matched, so its failure is the sequential-first one); chunks
-		// behind it are squashed as usual.
+		// behind it are squashed as usual. DOACROSS conflict validation
+		// mirrors the primary round's: checked before the chunk's own
+		// error can surface, against the union of everything committed
+		// earlier in the invocation (primary round, earlier recovery
+		// rounds, and this round's drained prefix).
 		broke := 0
+		conflictAt := -1
 		var runErr error
 		for i := 0; i < n; i++ {
 			res := &s.results[i]
+			if s.cells != nil && i > 0 && s.views[i].conflicted() {
+				conflictAt = i
+				broke = i - 1
+				break
+			}
 			if res.err != nil {
 				broke = i
 				runErr = res.err
+				if s.cells != nil {
+					// Match sequential partial-execution semantics: the
+					// failing run's writes up to the failure point land.
+					s.views[i].drain()
+				}
 				break
 			}
 			if haveAcc {
@@ -131,6 +159,9 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 			} else {
 				acc = res.acc
 				haveAcc = true
+			}
+			if s.cells != nil {
+				s.views[i].drain()
 			}
 			for _, pr := range res.props {
 				s.memos = append(s.memos, memo[S]{row: pr.row, state: pr.state, pos: globalPos + pr.local})
@@ -143,9 +174,15 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 				break
 			}
 		}
+		var roundSquash int64
 		for i := broke + 1; i < n; i++ {
-			r.pend.SquashedIters += s.results[i].work
+			roundSquash += s.results[i].work
 			misspec = true
+		}
+		r.pend.SquashedIters += roundSquash
+		if conflictAt >= 0 {
+			r.pend.Conflicts++
+			r.pend.ConflictIters += roundSquash
 		}
 		if runErr != nil {
 			r.pend.SquashedIters += s.results[broke].work
@@ -157,9 +194,11 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 		// ones are misses only when the round broke on a chunk that ran
 		// out of traversal; behind a chunk that merely capped again the
 		// squash is a capacity artifact and the rows are retried by the
-		// next round. Failed rounds (above) record nothing — an aborted
-		// chunk's squash says nothing about its prediction.
-		capArtifact := s.results[broke].capped
+		// next round — and a conflict squash is likewise no miss (the
+		// prediction was validated; the data raced). Failed rounds
+		// (above) record nothing — an aborted chunk's squash says
+		// nothing about its prediction.
+		capArtifact := conflictAt >= 0 || s.results[broke].capped
 		for i := 1; i < n; i++ {
 			if i <= broke {
 				r.noteHit(cands[i-1])
@@ -167,6 +206,20 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 				r.noteMiss(cands[i-1])
 				verdictMiss = true
 			}
+		}
+
+		if conflictAt >= 0 {
+			// Re-execute from the conflicting chunk's validated start; the
+			// row it was hunting gets its retry as the next round's first
+			// candidate. next strictly advances past cands[conflictAt-1]
+			// every conflict round, so recovery still terminates.
+			cur = s.jobs[conflictAt].start
+			if conflictAt < len(cands) {
+				next = cands[conflictAt]
+			} else {
+				next = len(rows)
+			}
+			continue
 		}
 
 		res := &s.results[broke]

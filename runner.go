@@ -51,6 +51,13 @@ type Runner[S comparable, A any] struct {
 	// the sequential path (the adaptive fallback's steady state) is as
 	// allocation-free as the parallel one.
 	seqCands []seqCand[S]
+
+	// cells is the DOACROSS cell store invocations run against:
+	// Loop.Cells unless overridden by BindCells (a Pool binds per
+	// session — one store serves one structure). dview is the sequential
+	// path's direct (unbuffered) view onto it.
+	cells *Cells
+	dview CellView
 }
 
 // seqCand is one bootstrap memoization candidate sampled by
@@ -147,6 +154,18 @@ func (r *Runner[S, A]) run(ctx context.Context, start S, loadAware bool) (A, err
 		var zero A
 		return zero, err
 	}
+	if r.loop.speculative() {
+		if r.cells == nil {
+			var zero A
+			return zero, ErrNoCells
+		}
+		for _, rd := range r.loop.Reductions {
+			if rd.Cell < 0 || rd.Cell >= r.cells.Size() {
+				var zero A
+				return zero, fmt.Errorf("%w: reduction cell %d, store size %d", ErrBadReduction, rd.Cell, r.cells.Size())
+			}
+		}
+	}
 	defer func() { r.stats.publish(&r.pend, r.sched.works, r.pendWorks); r.pendWorks = false }()
 	r.pend.Invocations++
 	if r.cfg.Threads == 1 {
@@ -232,11 +251,23 @@ func (r *Runner[S, A]) run(ctx context.Context, start S, loadAware bool) (A, err
 		}
 		return acc, err
 	}
+	if r.loop.speculative() {
+		r.sched.armCells(r.cells, r.loop.Reductions)
+	}
+	c0 := r.pend.Conflicts
 	acc, misspec, err := r.sched.run(r, ctx, start, rows, n, probe)
 	if err == nil {
-		if misspec {
+		switch {
+		case r.pend.Conflicts > c0:
+			// A read/write-set conflict squashed work this invocation.
+			// Reported to the controller as its own loss outcome:
+			// narrower width genuinely reduces the cross-chunk conflict
+			// surface, so throttling is the right response even though
+			// the predictions themselves were validated.
+			r.observe(rt.SpecConflict)
+		case misspec:
 			r.observe(rt.SpecMisspec)
-		} else {
+		default:
 			r.observe(rt.SpecClean)
 		}
 	}
@@ -299,7 +330,25 @@ func (r *Runner[S, A]) reset() {
 	// scrub memo buffers and any wider slots a recovery round dirtied
 	// long ago.
 	r.sched.purge()
+	// Restore the construction-time cell binding and drop the direct
+	// view's store reference: a session-scoped BindCells must not leak
+	// into the next session, nor pin the closed session's store.
+	r.cells = r.loop.Cells
+	r.dview.release()
 	r.stats.effectiveThreads.Store(int64(r.cfg.Threads))
+}
+
+// BindCells binds the DOACROSS cell store subsequent invocations run
+// against, replacing Loop.Cells or a previous binding (nil restores
+// "no store": the next speculative Run fails with ErrNoCells). Must not
+// be called while Run executes; like Run itself, it is single-caller.
+// Pool users bind through Session.BindCells — one store must never see
+// two concurrent invocations.
+func (r *Runner[S, A]) BindCells(c *Cells) {
+	if r.running.Load() {
+		panic("spice: BindCells while Run executes")
+	}
+	r.cells = c
 }
 
 // MustRun is the v1 infallible signature: Run with a background context,
@@ -362,6 +411,15 @@ func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err e
 	}()
 	done, next := r.loop.Done, r.loop.Next
 	body, bodyErr := r.loop.Body, r.loop.BodyErr
+	specBody, specBodyErr := r.loop.SpecBody, r.loop.SpecBodyErr
+	// Sequential DOACROSS execution is the reference semantics: every
+	// Load/Store goes straight through to the store and Reduce folds
+	// immediately — no buffering, no validation.
+	var view *CellView
+	if specBody != nil || specBodyErr != nil {
+		view = &r.dview
+		view.beginDirect(r.cells, r.loop.Reductions)
+	}
 	acc := r.loop.Init()
 	cands := r.seqCands[:0]
 	// Store the buffer back on every exit path: an error return must
@@ -383,9 +441,14 @@ func (r *Runner[S, A]) runSequential(ctx context.Context, start S) (out A, err e
 		var k int64
 		var stop blockStop
 		var verr error
-		if bodyErr != nil {
+		switch {
+		case specBody != nil:
+			s, acc, k, stop, verr = blockSpecScanToEnd(done, next, specBody, view, s, acc, bound-work)
+		case specBodyErr != nil:
+			s, acc, k, stop, verr = blockSpecScanToEndErr(done, next, specBodyErr, view, s, acc, bound-work)
+		case bodyErr != nil:
 			s, acc, k, stop, verr = blockScanToEndErr(done, next, bodyErr, s, acc, bound-work)
-		} else {
+		default:
 			s, acc, k, stop, verr = blockScanToEnd(done, next, body, s, acc, bound-work)
 		}
 		work += k

@@ -168,6 +168,14 @@ func (j *chunkJob[S, A]) run() {
 	}()
 	done, next := r.loop.Done, r.loop.Next
 	body, bodyErr := r.loop.Body, r.loop.BodyErr
+	specBody, specBodyErr := r.loop.SpecBody, r.loop.SpecBodyErr
+	// DOACROSS chunks execute against their dispatch slot's CellView,
+	// armed by the dispatcher before submit (the submit handoff orders
+	// the arm before this read).
+	var view *CellView
+	if specBody != nil || specBodyErr != nil {
+		view = &sched.views[j.idx]
+	}
 	acc := r.loop.Init()
 	s := j.start
 	ctx := j.ctx
@@ -231,13 +239,26 @@ loop:
 		var k int64
 		var stop blockStop
 		var err error
-		if bodyErr != nil {
+		switch {
+		case specBody != nil:
+			if hunt {
+				s, acc, k, stop, err = blockSpecScanMatch(done, next, specBody, view, s, acc, snapStart, bound-work)
+			} else {
+				s, acc, k, stop, err = blockSpecScanToEnd(done, next, specBody, view, s, acc, bound-work)
+			}
+		case specBodyErr != nil:
+			if hunt {
+				s, acc, k, stop, err = blockSpecScanMatchErr(done, next, specBodyErr, view, s, acc, snapStart, bound-work)
+			} else {
+				s, acc, k, stop, err = blockSpecScanToEndErr(done, next, specBodyErr, view, s, acc, bound-work)
+			}
+		case bodyErr != nil:
 			if hunt {
 				s, acc, k, stop, err = blockScanMatchErr(done, next, bodyErr, s, acc, snapStart, bound-work)
 			} else {
 				s, acc, k, stop, err = blockScanToEndErr(done, next, bodyErr, s, acc, bound-work)
 			}
-		} else {
+		default:
 			if hunt {
 				s, acc, k, stop, err = blockScanMatch(done, next, body, s, acc, snapStart, bound-work)
 			} else {
@@ -336,6 +357,16 @@ type scheduler[S comparable, A any] struct {
 	recPlans [][]planEntry // recovery per-chunk plan buffers
 	dispRows []int         // dispatch chain: SVA row behind each speculative slot
 	admitBuf []int         // valid+admitted rows scratch for planDispatch
+	// DOACROSS state, armed per invocation by armCells: the bound cell
+	// store, the loop's reduction declarations, and one CellView per
+	// dispatch slot (allocated on first speculative invocation; DOALL
+	// loops never pay for them). Views are written by the invoker during
+	// dispatch (begin) and chain resolution (conflicted/drain), and by
+	// exactly one worker while its chunk runs — the same ownership
+	// discipline as the chunkJob slots.
+	cells *Cells
+	reds  []Reduction
+	views []CellView
 	// used is the number of job/result/works slots the most recent
 	// round dirtied (including recovery rounds, which can fan wider
 	// than the primary dispatch). The next round resets only these
@@ -384,6 +415,18 @@ func newScheduler[S comparable, A any](threads int) *scheduler[S, A] {
 // armAbort clears the failure barrier for a new dispatch round.
 func (s *scheduler[S, A]) armAbort() { s.abort.Store(math.MaxInt64) }
 
+// armCells binds the invocation's cell store and reduction declarations
+// (nil for DOALL loops). Called by the runner before each parallel
+// invocation; release clears the binding with the rest of the
+// caller-scoped state.
+func (s *scheduler[S, A]) armCells(c *Cells, reds []Reduction) {
+	s.cells = c
+	s.reds = reds
+	if c != nil && s.views == nil {
+		s.views = make([]CellView, s.threads)
+	}
+}
+
 // abortAfter lowers the failure barrier to idx: chunks later in the
 // chain stop at their next poll.
 func (s *scheduler[S, A]) abortAfter(idx int) {
@@ -428,6 +471,16 @@ func (s *scheduler[S, A]) release() {
 		memos[i] = memo[S]{}
 	}
 	s.memos = s.memos[:0]
+	// Drop the cell-store binding too: a parked runner must not pin a
+	// finished caller's Cells (the views' mark arrays are pointer-free
+	// working state and are kept).
+	if s.views != nil {
+		for j := range s.views {
+			s.views[j].release()
+		}
+	}
+	s.cells = nil
+	s.reds = nil
 }
 
 // purge is release over every slot regardless of recent round width,
@@ -514,6 +567,12 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	}
 	s.used = n
 	s.armAbort()
+	// DOACROSS: open the primary round's union write-set generation
+	// (each recovery round opens its own, so re-dispatched chunks do not
+	// re-conflict with writes already committed before they started).
+	if s.cells != nil {
+		s.cells.beginRound()
+	}
 	// Rewind the submitter to the runner's home shard so chunk i lands
 	// on the same executor queue every round (warm-queue affinity).
 	r.sub.rewind()
@@ -542,6 +601,12 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			snap = &rows[ownRow]
 		}
 		s.jobs[i].reset(r, ctx, startState, snap, ownRow, i > 0, r.pred.planFor(planIdx), posBase, cap64)
+		if s.cells != nil {
+			// Chunk 0 buffers (its writes must stay invisible to the
+			// concurrently running chunks) but starts from architecturally
+			// correct state, so it records no read-set.
+			s.views[i].begin(s.cells, s.reds, i > 0)
+		}
 		s.lat.add(1)
 		if i > 0 {
 			r.sub.submit(&s.jobs[i])
@@ -562,12 +627,20 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	// --- Validation chain --------------------------------------------
 	// Chunk i+1 is validated by chunk i stopping on a match. The prefix
 	// up to the first non-matching chunk commits; everything after is
-	// squashed.
+	// squashed. DOACROSS adds a second validation layered before the
+	// membership one can surface anything about chunk i: its read-set is
+	// checked against the writes of every logically-earlier committed
+	// chunk (drained incrementally as the walk commits them, so the
+	// union is exact at each step). The conflict check is ordered before
+	// even the chunk's own error — a conflicted chunk consumed stale
+	// values, so its error (like its accumulator) is invalid and must be
+	// discarded with it, not surfaced.
 	acc := r.loop.Init()
 	committed := false
 	ncommit := 0
 	f := 0
 	needRecovery := false
+	conflictAt := -1
 	var runErr error
 	var tailEnd S
 	for i := 0; i < n; i++ {
@@ -583,6 +656,17 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			runErr = dispatchErr
 			break
 		}
+		if s.cells != nil && i > 0 && s.views[i].conflicted() {
+			// Flow-dependence violation: chunk i read a cell an earlier
+			// chunk wrote. Its start was validated (chunk i-1 matched it),
+			// so the region re-executes from that exact state through
+			// recovery; the chunk and everything after it are squashed.
+			conflictAt = i
+			f = i - 1
+			needRecovery = true
+			tailEnd = s.jobs[i].start
+			break
+		}
 		if res.err != nil {
 			// Chunks 0..i-1 all matched, so chunk i's iterations are
 			// exactly the sequential continuation and its failure is the
@@ -591,6 +675,12 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			// that lowered the barrier, and the walk stops there first.)
 			f = i
 			runErr = res.err
+			if s.cells != nil {
+				// Sequential execution would have applied the failing
+				// run's cell writes up to the failure point; drain the
+				// partial buffer so the store matches it exactly.
+				s.views[i].drain()
+			}
 			break
 		}
 		if committed {
@@ -598,6 +688,9 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 		} else {
 			acc = res.acc
 			committed = true
+		}
+		if s.cells != nil {
+			s.views[i].drain()
 		}
 		s.works[i] = res.work
 		ncommit = i + 1
@@ -618,6 +711,14 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 			squashed += s.results[i].work
 			misspec = true
 		}
+	}
+	if conflictAt >= 0 {
+		// One conflict event; every iteration it squashed (the
+		// conflicting chunk and everything after it) is both a squashed
+		// and a conflict-discarded iteration, so ConflictIters stays a
+		// subset of SquashedIters by construction.
+		r.pend.Conflicts++
+		r.pend.ConflictIters += squashed
 	}
 	if runErr != nil {
 		// The invocation failed: the failing chunk's partial work is
@@ -644,7 +745,11 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 	// recovery rounds, which retry them from an architecturally correct
 	// position. Without this distinction a tight MaxSpecIters would
 	// read as sustained misprediction and demote a perfectly
-	// predictable workload.
+	// predictable workload. A conflict squash is likewise no miss: the
+	// prediction was right (the chunk's start was validated) — the data
+	// raced, which the controller hears separately via the Conflicts
+	// counter (needRecovery is always set on conflict, so the branch
+	// below already withholds the miss).
 	verdictMiss := false
 	for i := 1; i < n; i++ {
 		if !s.results[i].active {
@@ -671,10 +776,17 @@ func (s *scheduler[S, A]) run(r *Runner[S, A], ctx context.Context, start S, row
 
 	// --- Parallel squash recovery ------------------------------------
 	if needRecovery {
-		// The broken chunk f was hunting disp[f] (or nothing, when it
-		// was the snap-less last chunk of the chain).
+		// The broken chunk was hunting a row recovery should retry: on a
+		// cap break that is chunk f hunting disp[f]; on a conflict it is
+		// the conflicting chunk hunting disp[conflictAt] (re-execution
+		// resumes from its validated start state). Nothing is hunted when
+		// the broken chunk was the snap-less last chunk of the chain.
 		brokenRow := len(rows)
-		if f < n-1 {
+		if conflictAt >= 0 {
+			if conflictAt < n-1 {
+				brokenRow = disp[conflictAt]
+			}
+		} else if f < n-1 {
 			brokenRow = disp[f]
 		}
 		recAcc, recWork, recSquash, recMiss, recErr := r.recoverParallel(ctx, tailEnd, totalWork, brokenRow, rows, probe)

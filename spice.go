@@ -90,12 +90,34 @@ type Loop[S comparable, A any] struct {
 	// validated) is discarded with the chunk — exactly as if the
 	// iteration had never run, which sequentially it would not have.
 	BodyErr func(S, A) (A, error)
+	// SpecBody is the DOACROSS form of Body: the loop body additionally
+	// reads and writes loop-carried state through the chunk's CellView
+	// (speculative loads/stores with commit-time conflict validation, and
+	// declared reductions via Reduce). See README "DOACROSS speculation".
+	SpecBody func(S, A, *CellView) A
+	// SpecBodyErr is the fallible form of SpecBody. Exactly one of Body,
+	// BodyErr, SpecBody and SpecBodyErr must be set.
+	SpecBodyErr func(S, A, *CellView) (A, error)
 	// Init returns the identity accumulator a fresh chunk starts from.
 	Init func() A
 	// Merge combines two partial accumulators; a is the accumulator for
 	// earlier iterations, b for later ones. Merge must be associative
 	// over the iteration order.
 	Merge func(a, b A) A
+	// Cells is the loop-carried cell store a SpecBody/SpecBodyErr runs
+	// against. Optional at construction — a Pool serving many structures
+	// binds a store per session with Session.BindCells instead — but a
+	// spec-bodied Run without a bound store fails with ErrNoCells.
+	Cells *Cells
+	// Reductions declares the reduction accumulators (cells updated only
+	// through CellView.Reduce, privatized per chunk, merged in sequential
+	// chunk order at commit). Requires a spec body.
+	Reductions []Reduction
+}
+
+// speculative reports whether the loop uses the DOACROSS cell store.
+func (l *Loop[S, A]) speculative() bool {
+	return l.SpecBody != nil || l.SpecBodyErr != nil
 }
 
 // validate checks that the callbacks are present and consistent.
@@ -103,8 +125,24 @@ func (l *Loop[S, A]) validate() error {
 	if l.Done == nil || l.Next == nil || l.Init == nil || l.Merge == nil {
 		return errors.New("spice: Loop requires Done, Next, Init and Merge")
 	}
-	if (l.Body == nil) == (l.BodyErr == nil) {
-		return errors.New("spice: Loop requires exactly one of Body or BodyErr")
+	bodies := 0
+	if l.Body != nil {
+		bodies++
+	}
+	if l.BodyErr != nil {
+		bodies++
+	}
+	if l.SpecBody != nil {
+		bodies++
+	}
+	if l.SpecBodyErr != nil {
+		bodies++
+	}
+	if bodies != 1 {
+		return errors.New("spice: Loop requires exactly one of Body, BodyErr, SpecBody or SpecBodyErr")
+	}
+	if !l.speculative() && (l.Cells != nil || len(l.Reductions) > 0) {
+		return errors.New("spice: Loop.Cells/Reductions require SpecBody or SpecBodyErr")
 	}
 	return nil
 }
@@ -245,6 +283,16 @@ type Stats struct {
 	// Misses counts speculative chunks that were dispatched and then
 	// squashed (their prediction did not materialize).
 	Misses int64
+	// Conflicts counts commit-time read/write-set conflicts: a
+	// speculative chunk whose fall-through read-set intersected a
+	// logically-earlier chunk's committed write-set (DOACROSS loops
+	// only). One conflict event squashes the conflicting chunk and
+	// everything after it; the iterations re-execute through recovery.
+	Conflicts int64
+	// ConflictIters counts the iterations discarded by conflict
+	// squashes. Always a subset of SquashedIters (conservation:
+	// ConflictIters ≤ SquashedIters).
+	ConflictIters int64
 	// SequentialFallbacks counts invocations the adaptive controller
 	// forced to pure sequential execution (throttled to one effective
 	// thread, or every predicted row below the confidence floor).
@@ -283,6 +331,8 @@ func (s *Stats) addCounters(d Stats) {
 	s.RecoveryChunks += d.RecoveryChunks
 	s.Hits += d.Hits
 	s.Misses += d.Misses
+	s.Conflicts += d.Conflicts
+	s.ConflictIters += d.ConflictIters
 	s.SequentialFallbacks += d.SequentialFallbacks
 	s.BatchSheds += d.BatchSheds
 }
@@ -299,6 +349,8 @@ func (s *Stats) subCounters(d Stats) {
 	s.RecoveryChunks -= d.RecoveryChunks
 	s.Hits -= d.Hits
 	s.Misses -= d.Misses
+	s.Conflicts -= d.Conflicts
+	s.ConflictIters -= d.ConflictIters
 	s.SequentialFallbacks -= d.SequentialFallbacks
 	s.BatchSheds -= d.BatchSheds
 }
@@ -364,6 +416,15 @@ var ErrPoolExecutor = errors.New("spice: PoolConfig must not set Config.Executor
 // Test with errors.Is.
 var ErrPoolClosed = errors.New("spice: pool is closed")
 
+// ErrNoCells is returned by Run when the loop has a SpecBody or
+// SpecBodyErr but no cell store is bound (neither Loop.Cells nor
+// BindCells). Test with errors.Is.
+var ErrNoCells = errors.New("spice: speculative loop has no Cells bound (set Loop.Cells or call BindCells)")
+
+// ErrBadReduction is returned by Run when a declared Reduction names a
+// cell outside the bound store. Test with errors.Is.
+var ErrBadReduction = errors.New("spice: Reduction.Cell outside the bound Cells store")
+
 // NewRunner builds a Runner for the loop. Unless cfg.Executor is set,
 // the runner starts a private executor of min(Threads-1, GOMAXPROCS-1)
 // persistent workers, at least one (each invocation's chunk 0 runs
@@ -385,6 +446,7 @@ func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A],
 		cfg:   cfg,
 		pred:  newPredictor[S](cfg.Threads, cfg.Positional, cfg.MemoizeOnce),
 		sched: newScheduler[S, A](cfg.Threads),
+		cells: loop.Cells,
 	}
 	if cfg.Adaptive && cfg.Threads > 1 {
 		r.ctrl = rt.NewSpecController(cfg.Threads, int64(cfg.ProbeInterval))
