@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -121,7 +122,7 @@ func (s *Server) execute(j *job) {
 	}
 	j.state.Store(int32(jobRunning))
 	started := time.Now()
-	res, aerr := s.runJob(j, started)
+	res, aerr := s.runJobGuarded(j, started)
 	s.met.jobLatency.observe(time.Since(started))
 	if aerr == nil {
 		s.met.jobsOK.Add(1)
@@ -133,6 +134,30 @@ func (s *Server) execute(j *job) {
 	j.t.mu.Unlock()
 	j.finish(res, aerr)
 	s.jobWG.Done()
+}
+
+// runJobGuarded runs runJob with panic containment: a panicking kernel
+// (New, Mutate, a future registry bug) must cost exactly its own job a
+// 500, never the dispatcher. An unrecovered panic here would kill the
+// dispatcher goroutine — permanently shrinking the dispatcher pool —
+// and strand the job's jobWG and tenant.inflight references, wedging
+// Drain forever and hanging the sync handler on a job that can no
+// longer finish. Every lock on the panic path is defer-released
+// (instance.mu in runJob, tenant.mu in instanceFor), so recovering at
+// this boundary leaves no lock held, and execute settles the
+// accounting exactly once on the way out as for any failed job.
+func (s *Server) runJobGuarded(j *job, started time.Time) (res *JobResult, aerr *apiError) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.jobsPanicked.Add(1)
+			res = nil
+			aerr = &apiError{
+				code: http.StatusInternalServerError,
+				msg:  fmt.Sprintf("panic executing job: %v\n%s", r, debug.Stack()),
+			}
+		}
+	}()
+	return s.runJob(j, started)
 }
 
 // runJob executes the job's invocations on the tenant's structure

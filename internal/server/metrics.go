@@ -7,6 +7,7 @@ package server
 // counters; /debug/vars serves the same snapshot as expvar-style JSON.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -68,6 +69,9 @@ type metrics struct {
 	rejAsyncFull atomic.Int64
 	jobsOK       atomic.Int64
 	jobsFailed   atomic.Int64
+	// jobsPanicked counts jobs that failed because a kernel panicked
+	// (contained in runJobGuarded); such jobs also count as failed.
+	jobsPanicked atomic.Int64
 	jobLatency   histogram
 	// HTTP responses by status class (2xx/4xx/5xx) plus the exact 429
 	// count, the backpressure signal load generators watch.
@@ -146,6 +150,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"async_full\"} %d\n", s.met.rejAsyncFull.Load())
 	counter("spiced_jobs_completed_total", "jobs that finished successfully", s.met.jobsOK.Load())
 	counter("spiced_jobs_failed_total", "jobs that finished with an error", s.met.jobsFailed.Load())
+	counter("spiced_jobs_panicked_total", "jobs failed by a contained kernel panic", s.met.jobsPanicked.Load())
 
 	// HTTP.
 	fmt.Fprintf(&b, "# HELP spiced_http_responses_total HTTP responses by status class\n# TYPE spiced_http_responses_total counter\n")
@@ -157,6 +162,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Pool-level runtime counters.
 	gauge("spiced_pool_workers", "shared executor workers", int64(s.pool.Workers()))
 	gauge("spiced_pool_runners", "runner states created (high-water concurrency)", int64(s.pool.Runners()))
+	gauge("spiced_pool_effective_threads", "widest adaptive effective width across the pool's runners", int64(ps.EffectiveThreads))
 	counter("spiced_pool_invocations_total", "loop invocations executed", ps.Invocations)
 	counter("spiced_pool_iters_total", "loop iterations committed", ps.TotalIters)
 	counter("spiced_pool_spec_hits_total", "speculative chunks committed", ps.Hits)
@@ -254,10 +260,19 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			"tenants":             tenants,
 		},
 	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
+	// Encode to a buffer first: once any byte reaches the ResponseWriter
+	// the 200 is committed, so an encode failure discovered mid-stream
+	// could only truncate the JSON. Buffering keeps the error actionable
+	// as a real 500.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(snap)
+	if err := enc.Encode(snap); err != nil {
+		http.Error(w, "encoding snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(buf.Bytes())
 }
 
 // handleHealthz reports liveness: 200 while serving, 503 once draining.

@@ -235,9 +235,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/submit", s.counted(s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.counted(s.handleJob))
 	mux.HandleFunc("GET /v1/kernels", s.counted(s.handleKernels))
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	// Scrape endpoints go through the same status-class counting as the
+	// API: a healthz flipping to 503 or a /debug/vars encode failure
+	// should move the 5xx counter, not vanish from it.
+	mux.HandleFunc("GET /metrics", s.counted(s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.counted(s.handleHealthz))
+	mux.HandleFunc("GET /debug/vars", s.counted(s.handleVars))
 	return mux
 }
 

@@ -138,34 +138,7 @@ func (s *Server) initialBudget() int {
 // structure instance for the request. Building a large list is done
 // under the tenant lock: it only blocks this tenant's own jobs.
 func (t *tenant) instanceFor(s *Server, req *JobRequest) *instance {
-	key := req.instanceKey()
-	var evicted *instance
-	t.mu.Lock()
-	inst, ok := t.insts[key]
-	if ok {
-		// Refresh LRU position.
-		for i, k := range t.lru {
-			if k == key {
-				t.lru = append(append(t.lru[:i:i], t.lru[i+1:]...), key)
-				break
-			}
-		}
-	} else {
-		if len(t.insts) >= s.cfg.MaxInstances && len(t.lru) > 0 {
-			victim := t.lru[0]
-			t.lru = t.lru[1:]
-			evicted = t.insts[victim]
-			delete(t.insts, victim)
-		}
-		k := native.ByName(req.Kernel)
-		inst = &instance{
-			key:  key,
-			inst: k.New(req.Size, req.Seed, req.Churn),
-		}
-		t.insts[key] = inst
-		t.lru = append(t.lru, key)
-	}
-	t.mu.Unlock()
+	inst, evicted := t.lookupOrCreate(s, req)
 	if evicted != nil {
 		// Outside t.mu (lock order: instance.mu before tenant.mu). A job
 		// still executing on the evicted instance finishes first; the
@@ -179,6 +152,41 @@ func (t *tenant) instanceFor(s *Server, req *JobRequest) *instance {
 		evicted.mu.Unlock()
 	}
 	return inst
+}
+
+// lookupOrCreate is instanceFor's under-lock half, returning the
+// instance plus any LRU victim to close outside t.mu. The lock is
+// defer-released and the kernel's New runs before the maps or the LRU
+// are touched, so a panicking kernel build unwinds with the tenant's
+// state intact and its lock free (the panic itself is contained one
+// frame up, in runJobGuarded).
+func (t *tenant) lookupOrCreate(s *Server, req *JobRequest) (inst, evicted *instance) {
+	key := req.instanceKey()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if inst, ok := t.insts[key]; ok {
+		// Refresh LRU position.
+		for i, k := range t.lru {
+			if k == key {
+				t.lru = append(append(t.lru[:i:i], t.lru[i+1:]...), key)
+				break
+			}
+		}
+		return inst, nil
+	}
+	inst = &instance{
+		key:  key,
+		inst: native.ByName(req.Kernel).New(req.Size, req.Seed, req.Churn),
+	}
+	if len(t.insts) >= s.cfg.MaxInstances && len(t.lru) > 0 {
+		victim := t.lru[0]
+		t.lru = t.lru[1:]
+		evicted = t.insts[victim]
+		delete(t.insts, victim)
+	}
+	t.insts[key] = inst
+	t.lru = append(t.lru, key)
+	return inst, evicted
 }
 
 // record folds one job's Stats delta into the tenant's lifetime and

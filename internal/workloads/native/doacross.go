@@ -45,6 +45,7 @@ const (
 	opSum   uint8 = iota // a += W; no cell traffic (the DOALL kinds' zero value)
 	opAccum              // cells[Dst] = cells[Src] + W; a += the new value
 	opHisto              // cells[Dst] += W, plus Sum and Max reductions over W
+	opStamp              // circuit sweep: load two node-voltage cells, fold the branch term into both reductions
 )
 
 // SpecLoop returns the universal speculative loop: the same traversal
@@ -68,6 +69,17 @@ func SpecLoop() spice.Loop[*Node, int64] {
 				v.Store(int(n.Dst), x)
 				v.Reduce(0, n.W)
 				v.Reduce(1, n.W)
+				return a + x
+			case opStamp:
+				// Circuit-sweep projection (circuit.go): a device on
+				// the branch Src→Dst loads both node-voltage cells and
+				// folds its linearized branch term into the universal
+				// reductions — conflict-free stamping, read-set on the
+				// voltages only. The full MNA loop with per-circuit
+				// stamp reductions lives in internal/workloads/circuit.
+				x := v.Load(int(n.Src)) - v.Load(int(n.Dst)) + n.W
+				v.Reduce(0, x)
+				v.Reduce(1, x)
 				return a + x
 			default:
 				return a + n.W

@@ -309,7 +309,9 @@ type Stats struct {
 	// the width that invocation was dispatched at — including a
 	// probe's temporary widening — and settles back to the
 	// controller's chosen width when the invocation completes.
-	// Pool.Stats reports the most recently released runner's value.
+	// Pool.Stats reports the widest gauge across every runner the pool
+	// has created (the configured Threads before any runner exists),
+	// so a narrow or idle session can never mask a wider live one.
 	EffectiveThreads int64
 	// LastWorks is the per-chunk committed iteration counts of the most
 	// recent invocation (zero for squashed or idle chunks).
