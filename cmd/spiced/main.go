@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"spice/internal/faults"
 	"spice/internal/server"
 )
 
@@ -47,17 +48,33 @@ func main() {
 		rebalance   = flag.Duration("rebalance", 0, "budget allocator window (0 = 500ms)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution bound (0 = 30s)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
+		watchdog    = flag.Duration("watchdog-interval", 0, "watchdog sweep interval (0 = 250ms)")
+		grace       = flag.Duration("watchdog-grace", 0, "overdue margin past job-timeout before a force-cancel (0 = 2s)")
+		resultTTL   = flag.Duration("result-ttl", 0, "finished async results kept this long before the reaper frees their slots (0 = 2m)")
+		chaos       = flag.String("chaos", "", "fault-injection schedule, site:match:kind[:dur] comma list (testing only)")
 	)
 	flag.Parse()
 
+	plane, err := faults.Parse(*chaos)
+	if err != nil {
+		log.Fatalf("spiced: -chaos: %v", err)
+	}
+	if plane != nil {
+		log.Printf("spiced: FAULT INJECTION ARMED: %s", plane)
+	}
+
 	s, err := server.New(server.Config{
-		MaxWidth:    *maxWidth,
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		TenantCap:   *tenantCap,
-		Dispatchers: *dispatchers,
-		Rebalance:   *rebalance,
-		JobTimeout:  *jobTimeout,
+		MaxWidth:         *maxWidth,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		TenantCap:        *tenantCap,
+		Dispatchers:      *dispatchers,
+		Rebalance:        *rebalance,
+		JobTimeout:       *jobTimeout,
+		WatchdogInterval: *watchdog,
+		WatchdogGrace:    *grace,
+		ResultTTL:        *resultTTL,
+		Faults:           plane,
 	})
 	if err != nil {
 		log.Fatalf("spiced: %v", err)

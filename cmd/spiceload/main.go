@@ -14,7 +14,12 @@
 //
 // The report ends with a single machine-readable line:
 //
-//	SUMMARY total=500 ok=480 http429=20 errors=0 rate2xx=0.960 throughput=48.0 p50ms=3.2 p90ms=8.1 p99ms=20.4
+//	SUMMARY total=500 ok=480 http429=20 errors=0 rate2xx=0.960 throughput=48.0 p50ms=3.2 p90ms=8.1 p99ms=20.4 retried=0 exhausted=0
+//
+// With -retries N, a job answered 429/503 (or failing in transport) is
+// retried up to N times with jittered exponential backoff from
+// -backoff, floored by the server's Retry-After hint; the final report
+// counts retry attempts and jobs whose budget ran dry.
 package main
 
 import (
@@ -94,6 +99,8 @@ type tally struct {
 	otherHTTP int
 	errors    int
 	dropped   int // arrivals skipped because max-inflight client slots were busy
+	retried   int // individual retry attempts after a 429/503 or transport error
+	exhausted int // jobs that still failed after spending their whole retry budget
 	lat       []time.Duration
 	perTenant map[string]*tenantTally
 }
@@ -127,6 +134,33 @@ func (ta *tally) record(tenant string, code int, d time.Duration, err error) {
 	}
 }
 
+// retryable reports whether an attempt's outcome is worth another try:
+// transport errors and the two backpressure statuses (429 and 503),
+// which the server tags with Retry-After.
+func retryable(code int, err error) bool {
+	return err != nil || code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoffWait computes the wait before retry attempt n (0-based):
+// jittered exponential backoff from base, overridden upward by the
+// server's Retry-After hint when one was sent. The jitter (a uniform
+// 0.5–1.5 factor) decorrelates the retry herd an open-loop burst of
+// shed jobs would otherwise form.
+func backoffWait(base time.Duration, attempt int, retryAfter string) time.Duration {
+	d := base << attempt
+	const maxWait = 5 * time.Second
+	if d > maxWait || d <= 0 {
+		d = maxWait
+	}
+	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	return d
+}
+
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -146,6 +180,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		maxInflight = flag.Int("max-inflight", 256, "client-side concurrent request bound")
 		seed        = flag.Int64("seed", 1, "tenant-mix RNG seed")
+		retries     = flag.Int("retries", 0, "retries per job after a 429/503 or transport error (0 disables)")
+		backoff     = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubled per attempt, jittered, floored by Retry-After)")
 	)
 	flag.Parse()
 
@@ -202,16 +238,41 @@ loop:
 					"size":        *size,
 					"invocations": *invocations,
 				})
-				t0 := time.Now()
-				resp, err := client.Post(*url+"/v1/run", "application/json", bytes.NewReader(body))
-				d := time.Since(t0)
-				code := 0
-				if err == nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					code = resp.StatusCode
+				var (
+					code       int
+					d          time.Duration
+					err        error
+					retryAfter string
+					tried      int
+				)
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					var resp *http.Response
+					resp, err = client.Post(*url+"/v1/run", "application/json", bytes.NewReader(body))
+					d = time.Since(t0)
+					code = 0
+					retryAfter = ""
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						retryAfter = resp.Header.Get("Retry-After")
+						resp.Body.Close()
+						code = resp.StatusCode
+					}
+					if !retryable(code, err) || attempt >= *retries {
+						break
+					}
+					tried++
+					time.Sleep(backoffWait(*backoff, attempt, retryAfter))
 				}
 				ta.record(sp.name, code, d, err)
+				if tried > 0 {
+					ta.mu.Lock()
+					ta.retried += tried
+					if retryable(code, err) {
+						ta.exhausted++
+					}
+					ta.mu.Unlock()
+				}
 			}(sp)
 		}
 	}
@@ -232,6 +293,10 @@ loop:
 	fmt.Printf("  arrivals   %d (dropped client-side: %d)\n", ta.total+ta.dropped, ta.dropped)
 	fmt.Printf("  responses  2xx=%d 429=%d 5xx=%d other=%d errors=%d\n",
 		ta.ok, ta.http429, ta.http5xx, ta.otherHTTP, ta.errors)
+	if *retries > 0 {
+		fmt.Printf("  retries    attempts=%d exhausted=%d (budget %d per job, base backoff %s)\n",
+			ta.retried, ta.exhausted, *retries, *backoff)
+	}
 	fmt.Printf("  throughput %.1f ok/s   2xx rate %.3f\n", throughput, rate2xx)
 	fmt.Printf("  latency    p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
 		ms(percentile(ta.lat, 0.50)), ms(percentile(ta.lat, 0.90)),
@@ -245,7 +310,8 @@ loop:
 		tt := ta.perTenant[name]
 		fmt.Printf("  tenant %-12s total=%d ok=%d shed429=%d\n", name, tt.total, tt.ok, tt.shed)
 	}
-	fmt.Printf("SUMMARY total=%d ok=%d http429=%d errors=%d rate2xx=%.3f throughput=%.1f p50ms=%.1f p90ms=%.1f p99ms=%.1f\n",
+	fmt.Printf("SUMMARY total=%d ok=%d http429=%d errors=%d rate2xx=%.3f throughput=%.1f p50ms=%.1f p90ms=%.1f p99ms=%.1f retried=%d exhausted=%d\n",
 		ta.total, ta.ok, ta.http429, ta.errors, rate2xx, throughput,
-		ms(percentile(ta.lat, 0.50)), ms(percentile(ta.lat, 0.90)), ms(percentile(ta.lat, 0.99)))
+		ms(percentile(ta.lat, 0.50)), ms(percentile(ta.lat, 0.90)), ms(percentile(ta.lat, 0.99)),
+		ta.retried, ta.exhausted)
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"spice/internal/faults"
 )
 
 // This file is the executor layer: a fixed pool of long-lived worker
@@ -123,6 +125,12 @@ type Executor struct {
 	// construction from the effective GOMAXPROCS (0 on single-proc
 	// hosts — parking immediately hands the processor to submitters).
 	spin int
+	// faults is the chaos-testing injection plane, fixed at construction
+	// (workers read it without synchronization, so it must never change
+	// while they run). Nil in production: NewExecutor always builds a
+	// plane-free executor; only runners and pools with Config.Faults set
+	// reach the internal constructor with a plane.
+	faults *faults.Plane
 
 	// The gauges below are the executor's only cross-core shared-write
 	// state on the steady path; each owns a cache line (see the layout
@@ -167,12 +175,20 @@ const workerSpinRounds = 32
 // Close. The workers' pre-park spin budget is sized from the effective
 // GOMAXPROCS at construction (zero on single-proc hosts).
 func NewExecutor(workers int) *Executor {
+	return newExecutor(workers, nil)
+}
+
+// newExecutor is NewExecutor plus the fault-injection plane, threaded
+// only from runner/pool construction so the field is immutable before
+// any worker starts.
+func newExecutor(workers int, plane *faults.Plane) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
 	e := &Executor{
 		shards:  make([]shard, workers),
 		workers: workers,
+		faults:  plane,
 	}
 	if runtime.GOMAXPROCS(0) > 1 {
 		e.spin = workerSpinRounds
@@ -196,9 +212,26 @@ func NewExecutor(workers int) *Executor {
 // contain their own failures (chunkJob.run converts panics to
 // *PanicError); this is the executor layer's backstop for any task that
 // does not.
-func runContained(t task) {
+//
+// It is also the ExecWorker fault-injection site. Slow/Stall are served
+// before the task body runs (a wedged or descheduled worker; the chunk's
+// completion latch waits it out, bounded by the point's duration). An
+// injected Panic deliberately fires *after* the task completes: the
+// task's own lat.done() defer has then run, so the panic exercises this
+// backstop's containment without stranding the invocation latch — a
+// pre-run panic would be swallowed here with the latch never counted
+// down, wedging the invoker forever.
+func (e *Executor) runContained(t task) {
 	defer func() { _ = recover() }()
+	if e.faults == nil {
+		t.run()
+		return
+	}
+	op := e.faults.Hit(faults.ExecWorker)
 	t.run()
+	if op.Kind == faults.KindPanic {
+		panic(faults.Injected{Site: faults.ExecWorker, Match: op.Match})
+	}
 }
 
 // Workers returns the fixed worker count.
@@ -360,7 +393,7 @@ func (e *Executor) worker(i int) {
 				return // closed and nothing left to run or steal
 			}
 		}
-		runContained(t)
+		e.runContained(t)
 		e.load.Add(-1)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spice/internal/faults"
 	"spice/internal/workloads/native"
 )
 
@@ -41,16 +42,26 @@ type job struct {
 	t      *tenant
 	ctx    context.Context
 	cancel context.CancelFunc
+	// deadline mirrors the context's JobTimeout expiry for the watchdog,
+	// which sweeps against it plus WatchdogGrace.
+	deadline time.Time
 
 	state  atomic.Int32 // holds a jobState
 	done   chan struct{}
 	result *JobResult
 	err    *apiError
+	// killed latches the watchdog's force-cancel so a job is killed (and
+	// counted) at most once; a second overdue sweep means wedged instead.
+	killed atomic.Bool
+	// doneAt is the finish instant in UnixNanos, read by the ResultTTL
+	// reaper (atomic: finish and the sweep race benignly).
+	doneAt atomic.Int64
 }
 
 // finish completes the job exactly once.
 func (j *job) finish(res *JobResult, aerr *apiError) {
 	j.result, j.err = res, aerr
+	j.doneAt.Store(time.Now().UnixNano())
 	j.state.Store(int32(jobDone))
 	close(j.done)
 	j.cancel()
@@ -61,6 +72,20 @@ func (j *job) finish(res *JobResult, aerr *apiError) {
 // WaitGroup holding a reference; on failure the returned apiError names
 // the backpressure reason.
 func (s *Server) admit(j *job) *apiError {
+	// Fault-injection site: an injected Err sheds the request with a 503
+	// (counted under its own rejection reason so admission accounting
+	// stays conserved), an injected Cancel abandons the job's client at
+	// the admission instant (the job is still admitted and fails 499
+	// downstream), and Slow delays admission like a glitching front end.
+	if op := s.cfg.Faults.Hit(faults.ServerAdmit); op.Kind != faults.KindNone {
+		switch op.Kind {
+		case faults.KindErr:
+			s.met.rejInjected.Add(1)
+			return &apiError{code: http.StatusServiceUnavailable, msg: "injected admission fault", retryAfter: 1}
+		case faults.KindCancel:
+			j.cancel()
+		}
+	}
 	// The RLock pairs with Drain's exclusive flip of s.draining: once
 	// Drain holds the write lock, no new job can slip past the jobWG
 	// registration below, so "drain completes in-flight jobs" is exact.
@@ -89,6 +114,7 @@ func (s *Server) admit(j *job) *apiError {
 	select {
 	case s.queue <- j:
 		s.met.admitted.Add(1)
+		s.trackJob(j) // watchdog sweeps it until execute untracks
 		return nil
 	default:
 		s.jobWG.Done()
@@ -133,6 +159,7 @@ func (s *Server) execute(j *job) {
 	j.t.inflight--
 	j.t.mu.Unlock()
 	j.finish(res, aerr)
+	s.untrackJob(j)
 	s.jobWG.Done()
 }
 
@@ -157,6 +184,21 @@ func (s *Server) runJobGuarded(j *job, started time.Time) (res *JobResult, aerr 
 			}
 		}
 	}()
+	// Fault-injection site, inside this containment boundary so every
+	// kind lands where a real fault would: Slow/Stall occupy the
+	// dispatcher with the job registered and running (the watchdog's
+	// prey), Cancel abandons the client mid-dispatch (499 downstream),
+	// Err fails the job with a 500, and Panic is contained above.
+	if op := s.cfg.Faults.Hit(faults.ServerDispatch); op.Kind != faults.KindNone {
+		switch op.Kind {
+		case faults.KindCancel:
+			j.cancel()
+		case faults.KindErr:
+			return nil, &apiError{code: http.StatusInternalServerError, msg: "injected dispatcher fault"}
+		case faults.KindPanic:
+			panic(faults.Injected{Site: faults.ServerDispatch, Match: op.Match})
+		}
+	}
 	return s.runJob(j, started)
 }
 

@@ -67,12 +67,21 @@ type metrics struct {
 	rejTenantCap atomic.Int64
 	rejDraining  atomic.Int64
 	rejAsyncFull atomic.Int64
-	jobsOK       atomic.Int64
-	jobsFailed   atomic.Int64
+	// rejInjected counts admissions shed by an injected ServerAdmit
+	// fault, kept separate so chaos suites can conserve accounting
+	// exactly (admitted + every rejection reason = requests offered).
+	rejInjected atomic.Int64
+	jobsOK      atomic.Int64
+	jobsFailed  atomic.Int64
 	// jobsPanicked counts jobs that failed because a kernel panicked
 	// (contained in runJobGuarded); such jobs also count as failed.
 	jobsPanicked atomic.Int64
-	jobLatency   histogram
+	// watchdogKilled counts in-flight jobs force-cancelled by the
+	// watchdog after overrunning deadline+grace; asyncExpired counts
+	// finished async results reaped from the table after ResultTTL.
+	watchdogKilled atomic.Int64
+	asyncExpired   atomic.Int64
+	jobLatency     histogram
 	// HTTP responses by status class (2xx/4xx/5xx) plus the exact 429
 	// count, the backpressure signal load generators watch.
 	http2xx, http429, http4xx, http5xx atomic.Int64
@@ -148,9 +157,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"tenant_cap\"} %d\n", s.met.rejTenantCap.Load())
 	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"draining\"} %d\n", s.met.rejDraining.Load())
 	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"async_full\"} %d\n", s.met.rejAsyncFull.Load())
+	fmt.Fprintf(&b, "spiced_jobs_rejected_total{reason=\"injected\"} %d\n", s.met.rejInjected.Load())
 	counter("spiced_jobs_completed_total", "jobs that finished successfully", s.met.jobsOK.Load())
 	counter("spiced_jobs_failed_total", "jobs that finished with an error", s.met.jobsFailed.Load())
 	counter("spiced_jobs_panicked_total", "jobs failed by a contained kernel panic", s.met.jobsPanicked.Load())
+	counter("spiced_jobs_watchdog_killed_total", "in-flight jobs force-cancelled by the watchdog", s.met.watchdogKilled.Load())
+	counter("spiced_async_jobs_expired_total", "finished async results reaped after ResultTTL", s.met.asyncExpired.Load())
+	gauge("spiced_async_jobs", "async jobs currently held in the result table", s.asyncJobCount())
 
 	// HTTP.
 	fmt.Fprintf(&b, "# HELP spiced_http_responses_total HTTP responses by status class\n# TYPE spiced_http_responses_total counter\n")
@@ -172,6 +185,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("spiced_pool_conflict_iters_total", "speculative iterations squashed by DOACROSS conflicts", ps.ConflictIters)
 	counter("spiced_pool_recoveries_total", "parallel squash-recovery rounds", ps.Recoveries)
 	counter("spiced_pool_batch_sheds_total", "invocations shed to in-place sequential execution", ps.BatchSheds)
+	counter("spiced_pool_runners_retired", "runners quarantined after repeated contained panics", ps.RunnersRetired)
 
 	// Per-tenant serving state: the budget allocator's outputs next to
 	// the evidence they were computed from.
@@ -275,7 +289,19 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// handleHealthz reports liveness: 200 while serving, 503 once draining.
+// asyncJobCount snapshots the async result table's size for /metrics.
+func (s *Server) asyncJobCount() int64 {
+	s.asyncMu.Lock()
+	n := len(s.asyncJobs)
+	s.asyncMu.Unlock()
+	return int64(n)
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once draining
+// or once the watchdog has marked the dispatcher wedged (a force-
+// cancelled job still running a full grace later). The wedged flag is
+// recomputed every sweep, so the endpoint heals itself when the job
+// finally settles.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.admitMu.RLock()
 	draining := s.draining
@@ -283,6 +309,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if s.wedged.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "wedged: force-cancelled job ignoring cancellation")
 		return
 	}
 	fmt.Fprintln(w, "ok")

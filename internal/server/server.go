@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"spice"
+	"spice/internal/faults"
 	"spice/internal/workloads/native"
 )
 
@@ -63,6 +64,20 @@ type Config struct {
 	JobTimeout time.Duration
 	// AsyncCap bounds the async job table (POST /v1/submit).
 	AsyncCap int
+	// WatchdogInterval paces the self-healing sweep (see watchdog.go).
+	WatchdogInterval time.Duration
+	// WatchdogGrace is the slack past a job's JobTimeout deadline before
+	// the watchdog force-cancels it; a job still unfinished a further
+	// grace after that marks the dispatcher wedged (healthz 503).
+	WatchdogGrace time.Duration
+	// ResultTTL expires finished-but-never-fetched async jobs from the
+	// result table, freeing their AsyncCap slots.
+	ResultTTL time.Duration
+	// Faults, when non-nil, arms the deterministic fault-injection plane
+	// on the serving path (admission, dispatch, tenant builds) and on
+	// the shared pool's runtime sites. Chaos testing only; nil costs an
+	// inlined nil-check per site.
+	Faults *faults.Plane
 
 	// testGate, settable only from inside the package, holds every
 	// dispatcher before it starts a job until the test releases it —
@@ -120,6 +135,15 @@ func (c Config) withDefaults() Config {
 	if c.AsyncCap <= 0 {
 		c.AsyncCap = 256
 	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = 250 * time.Millisecond
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 2 * time.Second
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 2 * time.Minute
+	}
 	return c
 }
 
@@ -160,6 +184,15 @@ type Server struct {
 	asyncMu   sync.Mutex
 	asyncJobs map[string]*job
 
+	// Watchdog state (see watchdog.go): the in-flight job registry it
+	// sweeps, the wedged-dispatcher flag healthz reports, and the sweep
+	// goroutine's lifecycle.
+	watchMu      sync.Mutex
+	inflightJobs map[*job]struct{}
+	wedged       atomic.Bool
+	stopWatchdog chan struct{}
+	watchdogWG   sync.WaitGroup
+
 	stopRebalance chan struct{}
 	rebalanced    sync.WaitGroup
 
@@ -184,7 +217,7 @@ func New(cfg Config) (*Server, error) {
 	// store), so one shared pool covers the whole registry. Each job
 	// binds its instance's private Cells before running.
 	pool, err := spice.NewPool(native.SpecLoop(), spice.PoolConfig{
-		Config:  spice.Config{Threads: cfg.MaxWidth},
+		Config:  spice.Config{Threads: cfg.MaxWidth, Faults: cfg.Faults},
 		Workers: cfg.Workers,
 	})
 	if err != nil {
@@ -200,6 +233,8 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:       ctx,
 		baseCancel:    cancel,
 		asyncJobs:     make(map[string]*job),
+		inflightJobs:  make(map[*job]struct{}),
+		stopWatchdog:  make(chan struct{}),
 		stopRebalance: make(chan struct{}),
 		drained:       make(chan struct{}),
 		testGate:      cfg.testGate,
@@ -210,6 +245,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.rebalanced.Add(1)
 	go s.rebalanceLoop()
+	s.watchdogWG.Add(1)
+	go s.watchdog()
 	return s, nil
 }
 
@@ -261,12 +298,13 @@ func (s *Server) newJob(req JobRequest, notify context.Context) (*job, *apiError
 		_ = stop // the job's own cancel (via finish) releases the AfterFunc's work
 	}
 	return &job{
-		id:     s.newJobID(),
-		req:    req,
-		t:      t,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
+		id:       s.newJobID(),
+		req:      req,
+		t:        t,
+		ctx:      ctx,
+		cancel:   cancel,
+		deadline: time.Now().Add(s.cfg.JobTimeout),
+		done:     make(chan struct{}),
 	}, nil
 }
 
@@ -405,6 +443,12 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-done
 		s.drainErr = ctx.Err()
 	}
+
+	// The watchdog runs until every job has settled — force-cancelling
+	// overdue jobs is exactly what makes the wait above converge when a
+	// fault stalls a dispatcher — and only then stops.
+	close(s.stopWatchdog)
+	s.watchdogWG.Wait()
 
 	close(s.queue)
 	s.dispatchWG.Wait()

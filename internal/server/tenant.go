@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"spice"
+	"spice/internal/faults"
 	"spice/internal/workloads/native"
 )
 
@@ -173,6 +174,14 @@ func (t *tenant) lookupOrCreate(s *Server, req *JobRequest) (inst, evicted *inst
 			}
 		}
 		return inst, nil
+	}
+	// Fault-injection site for structure builds. A Check that returns an
+	// error is re-raised as a panic so it travels the exact path a real
+	// kernel-New panic would — up through this defer-released lock into
+	// runJobGuarded's containment — rather than inventing a separate
+	// error plumbing for a path that only panics in production.
+	if err := s.cfg.Faults.Check(faults.ServerBuild); err != nil {
+		panic(err)
 	}
 	inst = &instance{
 		key:  key,

@@ -1,0 +1,93 @@
+package server
+
+// The self-healing layer: a watchdog goroutine that sweeps the server's
+// in-flight job registry and async result table on a fixed interval.
+//
+//   - Overdue jobs — still unfinished past their admission deadline plus
+//     WatchdogGrace — are force-cancelled (once; spiced_jobs_watchdog_
+//     killed_total counts them). The job's own context already carries
+//     the JobTimeout deadline, so this is belt and braces: it catches
+//     jobs whose timeout was lost to a wedged dispatcher or a context
+//     plumbing bug, and it is what makes Drain converge when a fault
+//     (injected or real) stalls a dispatcher mid-job.
+//   - A job that is still unfinished a further grace past its force-
+//     cancel marks the dispatcher wedged: something below the job layer
+//     is ignoring cancellation. /healthz flips to 503 until the job
+//     finally settles (the flag is recomputed from scratch every sweep,
+//     so the server heals itself the moment the wedge clears).
+//   - Finished-but-never-fetched async jobs older than ResultTTL are
+//     expired from the table (spiced_async_jobs_expired_total), freeing
+//     their slots so an abandoned poller cannot starve /v1/submit
+//     through AsyncCap.
+
+import "time"
+
+// trackJob registers an admitted job with the watchdog.
+func (s *Server) trackJob(j *job) {
+	s.watchMu.Lock()
+	s.inflightJobs[j] = struct{}{}
+	s.watchMu.Unlock()
+}
+
+// untrackJob removes a settled job from the watchdog's registry.
+func (s *Server) untrackJob(j *job) {
+	s.watchMu.Lock()
+	delete(s.inflightJobs, j)
+	s.watchMu.Unlock()
+}
+
+// watchdog is the sweep loop, started by New and stopped by Drain.
+func (s *Server) watchdog() {
+	defer s.watchdogWG.Done()
+	t := time.NewTicker(s.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopWatchdog:
+			return
+		case <-t.C:
+			s.sweep(time.Now())
+		}
+	}
+}
+
+// sweep runs one watchdog pass at the given instant (split out from the
+// loop so tests can drive it deterministically).
+func (s *Server) sweep(now time.Time) {
+	grace := s.cfg.WatchdogGrace
+	wedged := false
+	s.watchMu.Lock()
+	for j := range s.inflightJobs {
+		over := now.Sub(j.deadline)
+		if over <= grace {
+			continue
+		}
+		if j.killed.CompareAndSwap(false, true) {
+			// First time past deadline+grace: force-cancel. The job's
+			// execution path observes the context and settles; execute
+			// untracks it on the way out.
+			j.cancel()
+			s.met.watchdogKilled.Add(1)
+		} else if over > 2*grace {
+			// Force-cancelled at least a sweep ago, a full extra grace
+			// burned, and the job still has not settled: whatever is
+			// running it is ignoring cancellation. Report the dispatcher
+			// wedged until the job clears.
+			wedged = true
+		}
+	}
+	s.watchMu.Unlock()
+	s.wedged.Store(wedged)
+
+	s.asyncMu.Lock()
+	for id, j := range s.asyncJobs {
+		if jobState(j.state.Load()) != jobDone {
+			continue
+		}
+		if now.Sub(time.Unix(0, j.doneAt.Load())) > s.cfg.ResultTTL {
+			delete(s.asyncJobs, id)
+			s.met.asyncExpired.Add(1)
+		}
+	}
+	s.asyncMu.Unlock()
+}

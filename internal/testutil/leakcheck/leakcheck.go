@@ -1,0 +1,114 @@
+// Package leakcheck fails a test binary that finishes with stray
+// goroutines still running. It is a dependency-free take on the usual
+// goleak idiom: snapshot every goroutine stack via runtime.Stack,
+// filter the benign ones (the test harness itself, signal handling,
+// runtime-internal helpers), and poll briefly so goroutines that are
+// mid-exit when the last test returns get a chance to finish.
+//
+// Wire it in with a one-line TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// The check runs once, after the whole package's tests: every Runner,
+// Pool, Executor and Server a test created must have been joined by its
+// Close/Drain by then, so a survivor here is a real leak — a worker
+// that never observed shutdown, a watchdog without a stop channel, a
+// stranded dispatcher — not test noise.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Main runs the package's tests and then the leak check. A leak turns
+// an otherwise-green run into a failure; an already-failing run is left
+// alone (its stacks would only bury the real error).
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"leakcheck: %d goroutine(s) still running after all tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until no interesting goroutines remain or the wait
+// budget is spent, returning the survivors' stacks. The polling loop —
+// rather than a single snapshot — absorbs goroutines that have been
+// released by a Close/Drain but not yet scheduled off their final
+// instruction.
+func Check(wait time.Duration) []string {
+	deadline := time.Now().Add(wait)
+	for {
+		leaked := interesting()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// interesting returns the stacks of all goroutines that are neither
+// the caller's nor on the benign list, sorted for stable output.
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		head, body, ok := strings.Cut(g, "\n")
+		if !ok || benign(head, body) {
+			continue
+		}
+		out = append(out, strings.TrimSpace(g))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// benignBodies are substrings that mark a goroutine as test-harness or
+// runtime machinery rather than code under test.
+var benignBodies = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.runFuzzTests",
+	"os/signal.",
+	"runtime.ensureSigM",
+	"created by runtime",
+	"leakcheck.interesting", // this snapshot itself
+	"leakcheck.Check",
+}
+
+func benign(head, body string) bool {
+	// Goroutine 1 is the test binary's main goroutine (running Main).
+	if strings.HasPrefix(head, "goroutine 1 ") {
+		return true
+	}
+	if strings.TrimSpace(body) == "" {
+		return true
+	}
+	for _, pat := range benignBodies {
+		if strings.Contains(body, pat) {
+			return true
+		}
+	}
+	return false
+}

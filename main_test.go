@@ -1,0 +1,13 @@
+package spice
+
+import (
+	"testing"
+
+	"spice/internal/testutil/leakcheck"
+)
+
+// TestMain runs the whole root-package binary (including the
+// spice_test chaos suite, which compiles into the same binary) under a
+// goroutine-leak check: every Runner, Pool and Session a test creates
+// must have joined its executor workers via Close before exit.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

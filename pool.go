@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"spice/internal/faults"
 )
 
 // This file is the concurrent front door of the native library: a Pool
@@ -28,7 +30,21 @@ type PoolConfig struct {
 	// goroutine, so the invokers themselves occupy one processor each
 	// and the workers only need to cover the speculative chunks.
 	Workers int
+	// QuarantineAfter retires a runner whose invocations returned a
+	// contained *PanicError this many times in a row, instead of
+	// recycling it through the free list: a runner that keeps panicking
+	// is presumed poisoned (corrupted predictor state, a structure the
+	// bodies cannot traverse), its counters are folded into the pool
+	// totals under Stats.RunnersRetired, and the next acquisition mints
+	// a fresh runner. A success resets the streak; other errors leave
+	// it. Zero selects DefaultQuarantineAfter; negative disables
+	// quarantine.
+	QuarantineAfter int
 }
+
+// DefaultQuarantineAfter is the consecutive-panic threshold at which a
+// Pool retires a runner when PoolConfig.QuarantineAfter is zero.
+const DefaultQuarantineAfter = 3
 
 // Pool executes Spice invocations submitted concurrently by multiple
 // goroutines, through three front doors: Run (one blocking
@@ -52,6 +68,14 @@ type Pool[S comparable, A any] struct {
 	all    []*Runner[S, A]
 	last   *Runner[S, A] // most recently released runner (for LastWorks)
 	closed atomic.Bool   // atomic so Session.Run checks it without p.mu
+
+	// quarantine is the resolved consecutive-panic retirement threshold
+	// (0: disabled). retired accumulates the counters of retired runners
+	// — they leave p.all, but their history must not vanish from
+	// Pool.Stats — and retiredCount is published as Stats.RunnersRetired.
+	quarantine   int
+	retired      Stats
+	retiredCount int64
 
 	// inflight tracks accepted Submit invocations so Close can drain
 	// them: an async caller holds only a Future, not a join point, so —
@@ -89,11 +113,18 @@ func NewPool[S comparable, A any](loop Loop[S, A], cfg PoolConfig) (*Pool[S, A],
 			workers = 1
 		}
 	}
+	quarantine := cfg.QuarantineAfter
+	if quarantine == 0 {
+		quarantine = DefaultQuarantineAfter
+	} else if quarantine < 0 {
+		quarantine = 0
+	}
 	p := &Pool[S, A]{
-		loop: loop,
-		cfg:  cfg.Config,
-		exec: NewExecutor(workers),
-		idle: make(map[int][]*Runner[S, A]),
+		loop:       loop,
+		cfg:        cfg.Config,
+		exec:       newExecutor(workers, cfg.Config.Faults),
+		idle:       make(map[int][]*Runner[S, A]),
+		quarantine: quarantine,
 	}
 	p.cfg.Executor = p.exec
 	return p, nil
@@ -403,6 +434,13 @@ func (p *Pool[S, A]) acquire() (*Runner[S, A], error) {
 // runner is also registered for Close's drain, under the same mutex hold
 // as the closed check — once acquireRunner accepts, Close waits.
 func (p *Pool[S, A]) acquireRunner(width int, registerInflight bool) (*Runner[S, A], error) {
+	// Fault-injection site: an injected Err/Cancel fails the acquisition
+	// before the closed check, inflight registration, or any runner
+	// state is touched — the caller sees it exactly like ErrPoolClosed,
+	// and the pool stays fully consistent.
+	if err := p.cfg.Faults.Check(faults.PoolAcquire); err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	if p.closed.Load() {
 		p.mu.Unlock()
@@ -435,9 +473,29 @@ func (p *Pool[S, A]) acquireRunner(width int, registerInflight bool) (*Runner[S,
 	return r, nil
 }
 
-// release returns a runner to its width's free list.
+// release returns a runner to its width's free list — unless the runner
+// has crossed the quarantine threshold, in which case it is retired:
+// removed from the pool's runner set (its counters folded into the
+// retired accumulator so Pool.Stats keeps its history), never recycled,
+// and replaced by a fresh NewRunner on the next acquisition that finds
+// the free list empty.
 func (p *Pool[S, A]) release(r *Runner[S, A]) {
 	p.mu.Lock()
+	if p.quarantine > 0 && r.consecPanics >= p.quarantine {
+		r.stats.addInto(&p.retired)
+		p.retiredCount++
+		for i, rr := range p.all {
+			if rr == r {
+				p.all = append(p.all[:i], p.all[i+1:]...)
+				break
+			}
+		}
+		if p.last == r {
+			p.last = nil
+		}
+		p.mu.Unlock()
+		return
+	}
 	p.idle[r.cfg.Threads] = append(p.idle[r.cfg.Threads], r)
 	p.last = r
 	p.mu.Unlock()
@@ -460,6 +518,8 @@ func (p *Pool[S, A]) Stats() Stats {
 	// tenant session closing last made the whole pool scrape as
 	// sequential on /metrics even while full-width runners sat idle.
 	s.EffectiveThreads = int64(p.cfg.Threads)
+	s.addCounters(p.retired) // retired runners' history survives them
+	s.RunnersRetired = p.retiredCount
 	var maxEff int64
 	for _, r := range p.all {
 		r.stats.addInto(&s)
@@ -476,8 +536,9 @@ func (p *Pool[S, A]) Stats() Stats {
 	return s
 }
 
-// Runners returns the number of runner states the pool has created —
-// the high-water mark of concurrent submissions.
+// Runners returns the number of live runner states the pool holds —
+// the high-water mark of concurrent submissions, minus any runners the
+// quarantine retired (see Stats.RunnersRetired).
 func (p *Pool[S, A]) Runners() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()

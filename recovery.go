@@ -1,6 +1,10 @@
 package spice
 
-import "context"
+import (
+	"context"
+
+	"spice/internal/faults"
+)
 
 // This file is the parallel squash-recovery path, the native port of the
 // simulator's remote-resteer mechanism (internal/rt): when the
@@ -43,6 +47,12 @@ func (r *Runner[S, A]) recoverParallel(ctx context.Context, start S, globalPos i
 	for {
 		if cerr := ctx.Err(); cerr != nil {
 			return acc, recWork, misspec, verdictMiss, cerr
+		}
+		// Fault-injection site: an injected Err/Cancel at the top of a
+		// recovery round aborts the invocation mid-recovery — the exact
+		// window where partial commits and re-planned chunks coexist.
+		if ferr := r.cfg.Faults.Check(faults.RecoveryRound); ferr != nil {
+			return acc, recWork, misspec, verdictMiss, ferr
 		}
 		r.pend.Recoveries++
 

@@ -2,6 +2,7 @@ package spice
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,16 @@ type Runner[S comparable, A any] struct {
 	ownsExec bool
 	running  atomic.Bool
 	stats    runnerStats
+
+	// consecPanics counts consecutive invocations that returned a
+	// contained *PanicError; a success resets it, other errors (ctx
+	// cancellation, body errors) leave the streak. A Pool reads it on
+	// release to quarantine poisoned runners (see Pool.release).
+	// Deliberately NOT cleared by reset(): a runner that panicked across
+	// a session boundary is just as poisoned. Written and read only
+	// under the runner's single-invocation serialization, so it needs no
+	// synchronization.
+	consecPanics int
 
 	// pend accumulates the in-flight invocation's counter deltas. All
 	// counter updates happen on the invoking goroutine (the scheduler
@@ -139,10 +150,29 @@ func (r *Runner[S, A]) Run(ctx context.Context, start S) (A, error) {
 	return r.run(ctx, start, false)
 }
 
-// run is Run plus the batched front door's load-aware flag. The
-// invocation's counter deltas (accumulated in r.pend by the scheduler
-// and recovery layers) are published in one step on every exit path.
+// run is Run plus the batched front door's load-aware flag, wrapping
+// the invocation with the panic-streak bookkeeping behind Pool
+// quarantine. Only contained panics (*PanicError, including wrapped
+// batch-item forms) advance the streak; a panic that propagates out of
+// the invocation (possible only through injected faults — the library
+// contains body panics) bypasses it, as does every other error.
 func (r *Runner[S, A]) run(ctx context.Context, start S, loadAware bool) (A, error) {
+	acc, err := r.runInvocation(ctx, start, loadAware)
+	if err == nil {
+		r.consecPanics = 0
+	} else {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			r.consecPanics++
+		}
+	}
+	return acc, err
+}
+
+// runInvocation executes one invocation. The invocation's counter
+// deltas (accumulated in r.pend by the scheduler and recovery layers)
+// are published in one step on every exit path.
+func (r *Runner[S, A]) runInvocation(ctx context.Context, start S, loadAware bool) (A, error) {
 	if !r.running.CompareAndSwap(false, true) {
 		panic("spice: concurrent Run on a single Runner (wrap the loop in a Pool)")
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"spice/internal/faults"
 	"spice/internal/rt"
 )
 
@@ -166,6 +167,16 @@ func (j *chunkJob[S, A]) run() {
 			sched.abortAfter(j.idx)
 		}
 	}()
+	// Fault-injection site, armed only by chaos configs (Config.Faults).
+	// Placed inside the chunk's containment — the latch and recovery
+	// defers above are armed — so an injected panic surfaces as a
+	// *PanicError and an injected error aborts the chain exactly like a
+	// body failure at the chunk's first iteration.
+	if err := r.cfg.Faults.Check(faults.ChunkBody); err != nil {
+		res.err = err
+		sched.abortAfter(j.idx)
+		return
+	}
 	done, next := r.loop.Done, r.loop.Next
 	body, bodyErr := r.loop.Body, r.loop.BodyErr
 	specBody, specBodyErr := r.loop.SpecBody, r.loop.SpecBodyErr

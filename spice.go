@@ -60,6 +60,7 @@ import (
 	"runtime"
 	"runtime/debug"
 
+	"spice/internal/faults"
 	"spice/internal/rt"
 )
 
@@ -229,6 +230,14 @@ type Config struct {
 	// strawman: memoize live-ins once and reuse them forever). The
 	// predictor cannot adapt once a memoized node leaves the structure.
 	MemoizeOnce bool
+	// Faults, when non-nil, arms the deterministic fault-injection plane
+	// (internal/faults) on the runner's injection sites: chunk bodies,
+	// recovery rounds, and executor workers (a Pool adds runner
+	// acquisition, and spiced its serving-path sites). This is
+	// chaos-testing machinery — production configs leave it nil, which
+	// reduces every site to an inlined nil-check; the 0-allocs/op bench
+	// gates run with a nil plane and prove the disabled cost.
+	Faults *faults.Plane
 	// Executor, when non-nil, is a shared worker pool the runner submits
 	// its chunks to; the caller owns its lifecycle. When nil, the runner
 	// starts (and Close releases) a private executor sized from the
@@ -303,6 +312,13 @@ type Stats struct {
 	// speculative chunks would have added queueing, not parallelism.
 	// Plain Run never sheds.
 	BatchSheds int64
+	// RunnersRetired counts runners a Pool quarantined instead of
+	// recycling: a runner whose invocations kept panicking
+	// (PoolConfig.QuarantineAfter consecutive *PanicError returns) is
+	// retired on release — its counters are folded into the pool totals
+	// and a fresh runner is minted on the next acquisition. Always zero
+	// on a standalone Runner.
+	RunnersRetired int64
 	// EffectiveThreads is the adaptive controller's current effective
 	// width (a gauge, not a counter; equals the configured Threads
 	// when the controller is off). While an invocation runs it shows
@@ -337,6 +353,7 @@ func (s *Stats) addCounters(d Stats) {
 	s.ConflictIters += d.ConflictIters
 	s.SequentialFallbacks += d.SequentialFallbacks
 	s.BatchSheds += d.BatchSheds
+	s.RunnersRetired += d.RunnersRetired
 }
 
 // subCounters subtracts d's additive counters from s (the inverse of
@@ -355,6 +372,7 @@ func (s *Stats) subCounters(d Stats) {
 	s.ConflictIters -= d.ConflictIters
 	s.SequentialFallbacks -= d.SequentialFallbacks
 	s.BatchSheds -= d.BatchSheds
+	s.RunnersRetired -= d.RunnersRetired
 }
 
 // Delta returns the counters s accumulated since prev was snapshotted:
@@ -474,7 +492,7 @@ func NewRunner[S comparable, A any](loop Loop[S, A], cfg Config) (*Runner[S, A],
 			if workers < 1 {
 				workers = 1
 			}
-			r.exec = NewExecutor(workers)
+			r.exec = newExecutor(workers, cfg.Faults)
 			r.ownsExec = true
 		}
 		// Each runner submits through its own striped handle spanning
